@@ -1,0 +1,287 @@
+// Benchmarks regenerating every table and figure of the SLiMFast paper
+// (one benchmark per artifact; run with `go test -bench=. -benchmem`),
+// plus ablation benches for the design choices called out in DESIGN.md
+// §5 and micro-benchmarks of the core operations.
+//
+// Each experiment bench runs the same code path as `cmd/experiments
+// -exp <id>` in quick mode; b.N repetitions measure end-to-end cost,
+// and the rendered output goes to io.Discard. For the full-scale
+// numbers recorded in EXPERIMENTS.md, run cmd/experiments without
+// -quick.
+package slimfast
+
+import (
+	"io"
+	"testing"
+
+	"slimfast/internal/core"
+	"slimfast/internal/data"
+	"slimfast/internal/eval"
+	"slimfast/internal/lasso"
+	"slimfast/internal/optim"
+	"slimfast/internal/randx"
+	"slimfast/internal/synth"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := eval.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := eval.QuickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFigure4a(b *testing.B) { benchExperiment(b, "fig4a") }
+func BenchmarkFigure4b(b *testing.B) { benchExperiment(b, "fig4b") }
+func BenchmarkFigure4c(b *testing.B) { benchExperiment(b, "fig4c") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)   { benchExperiment(b, "table6") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkTheory(b *testing.B)   { benchExperiment(b, "theory") }
+
+// benchInstance builds a mid-size instance shared by the ablation and
+// micro benches.
+func benchInstance(b *testing.B) *synth.Instance {
+	b.Helper()
+	inst, err := synth.Generate(synth.Config{
+		Name: "bench", Sources: 80, Objects: 800, DomainSize: 3,
+		Assignment: synth.IIDDensity, Density: 0.15,
+		MeanAccuracy: 0.68, AccuracySD: 0.12, MinAccuracy: 0.45, MaxAccuracy: 0.95,
+		Features: []synth.FeatureGroup{
+			{Name: "a", Cardinality: 10, Informative: true, WeightScale: 1.5},
+			{Name: "b", Cardinality: 10, Informative: false},
+		},
+		EnsureTruthObserved: true, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationInference compares exact closed-form posteriors
+// against Gibbs sampling over the compiled factor graph.
+func BenchmarkAblationInference(b *testing.B) {
+	inst := benchInstance(b)
+	train, _ := data.Split(inst.Gold, 0.2, randx.New(1))
+	fit := func(opts core.Options) *core.Model {
+		m, err := core.Compile(inst.Dataset, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.FitERM(train); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	b.Run("exact", func(b *testing.B) {
+		m := fit(core.DefaultOptions())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Infer(train); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gibbs", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.Inference = core.Gibbs
+		m := fit(opts)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Infer(train); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationEMUnits compares the printed Algorithm 1 against the
+// Example 8 variant that multiplies per-object gain by m.
+func BenchmarkAblationEMUnits(b *testing.B) {
+	inst := benchInstance(b)
+	for _, mult := range []bool{false, true} {
+		name := "algorithm1"
+		if mult {
+			name = "example8-m"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.EMUnits(inst.Dataset, 0.7, mult)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAgreement compares the paper's closed-form average-
+// accuracy estimator with the overlap-weighted variant.
+func BenchmarkAblationAgreement(b *testing.B) {
+	inst := benchInstance(b)
+	for _, weighted := range []bool{false, true} {
+		name := "paper-closed-form"
+		if weighted {
+			name = "overlap-weighted"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.EstimateAverageAccuracy(inst.Dataset, weighted)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRegularization compares L2 against L1 for the
+// feature-heavy ERM fit.
+func BenchmarkAblationRegularization(b *testing.B) {
+	inst := benchInstance(b)
+	train, _ := data.Split(inst.Gold, 0.2, randx.New(2))
+	run := func(b *testing.B, l1, l2 float64) {
+		for i := 0; i < b.N; i++ {
+			opts := core.DefaultOptions()
+			opts.Optim.L1 = l1
+			opts.Optim.L2 = l2
+			m, err := core.Compile(inst.Dataset, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.FitERM(train); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("l2", func(b *testing.B) { run(b, 0, 1e-3) })
+	b.Run("l1", func(b *testing.B) { run(b, 1e-3, 0) })
+}
+
+// BenchmarkAblationOptimizer compares SGD against AdaGrad for ERM.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	inst := benchInstance(b)
+	train, _ := data.Split(inst.Gold, 0.2, randx.New(3))
+	run := func(b *testing.B, method optim.Method) {
+		for i := 0; i < b.N; i++ {
+			opts := core.DefaultOptions()
+			opts.Optim.Method = method
+			m, err := core.Compile(inst.Dataset, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.FitERM(train); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sgd", func(b *testing.B) { run(b, optim.SGD) })
+	b.Run("adagrad", func(b *testing.B) { run(b, optim.AdaGrad) })
+}
+
+// --- Micro-benchmarks of the core operations ---
+
+func BenchmarkCoreERMFit(b *testing.B) {
+	inst := benchInstance(b)
+	train, _ := data.Split(inst.Gold, 0.3, randx.New(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.Compile(inst.Dataset, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.FitERM(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreEMFit(b *testing.B) {
+	inst := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.Compile(inst.Dataset, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.FitEM(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreExactInference(b *testing.B) {
+	inst := benchInstance(b)
+	m, err := core.Compile(inst.Dataset, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Infer(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizerDecide(b *testing.B) {
+	inst := benchInstance(b)
+	train, _ := data.Split(inst.Gold, 0.1, randx.New(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Decide(inst.Dataset, train, core.DefaultOptimizerOptions())
+	}
+}
+
+func BenchmarkLassoPath(b *testing.B) {
+	inst := benchInstance(b)
+	opts := lasso.DefaultOptions()
+	opts.Steps = 8
+	opts.MaxIter = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lasso.Compute(inst.Dataset, inst.Gold, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Crowd(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := NewProblem("bench")
+		for o := 0; o < 50; o++ {
+			obj := string(rune('a'+o%26)) + string(rune('0'+o/26))
+			p.AddObservation("s1", obj, "x")
+			p.AddObservation("s2", obj, "x")
+			p.AddObservation("s3", obj, "y")
+			p.SetTruth(obj, "x")
+		}
+		if _, err := p.Solve(WithAlgorithm(ERM), WithSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationsQuality runs the registered quality-ablation
+// experiment (DESIGN.md §5) end to end.
+func BenchmarkAblationsQuality(b *testing.B) { benchExperiment(b, "ablations") }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slimfast/internal/data"
+)
+
+func TestRunCalibratedJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "crowd", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "crowd.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, truth, err := data.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSources() != 102 || ds.NumObjects() != 992 {
+		t.Errorf("crowd shape wrong: %d sources, %d objects", ds.NumSources(), ds.NumObjects())
+	}
+	if len(truth) == 0 {
+		t.Error("truth missing from JSON")
+	}
+}
+
+func TestRunCustomCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-sources", "12", "-objects", "30", "-density", "0.4",
+		"-accuracy", "0.7", "-out", dir, "-format", "csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"observations", "features", "truth"} {
+		b, err := os.ReadFile(filepath.Join(dir, "custom-"+suffix+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", suffix, err)
+		}
+		if !strings.Contains(string(b), ",") {
+			t.Errorf("%s csv looks empty", suffix)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir}); err == nil {
+		t.Error("no dataset or custom size should error")
+	}
+	if err := run([]string{"-dataset", "nope", "-out", dir}); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if err := run([]string{"-dataset", "crowd", "-out", dir, "-format", "xml"}); err == nil {
+		t.Error("unknown format should error")
+	}
+}

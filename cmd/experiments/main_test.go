@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment run in -short mode")
+	}
+	if err := run([]string{"-exp", "table1", "-quick", "-seeds", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

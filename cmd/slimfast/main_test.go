@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slimfast/internal/data"
+	"slimfast/internal/synth"
+)
+
+// writeTestCSVs materializes a small instance as the three CSVs.
+func writeTestCSVs(t *testing.T) (obs, feat, truth string) {
+	t.Helper()
+	inst, err := synth.Generate(synth.Config{
+		Name: "cli", Sources: 15, Objects: 80, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.3,
+		MeanAccuracy: 0.7, AccuracySD: 0.1, MinAccuracy: 0.5, MaxAccuracy: 0.9,
+		Features: []synth.FeatureGroup{
+			{Name: "f", Cardinality: 4, Informative: true, WeightScale: 1.5},
+		},
+		EnsureTruthObserved: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	obs = filepath.Join(dir, "obs.csv")
+	feat = filepath.Join(dir, "feat.csv")
+	truth = filepath.Join(dir, "truth.csv")
+	write := func(path string, fn func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(obs, func(f *os.File) error { return data.WriteObservationsCSV(f, inst.Dataset) })
+	write(feat, func(f *os.File) error { return data.WriteFeaturesCSV(f, inst.Dataset) })
+	write(truth, func(f *os.File) error { return data.WriteTruthCSV(f, inst.Dataset, inst.Gold) })
+	return obs, feat, truth
+}
+
+func TestRunCSVPipeline(t *testing.T) {
+	obs, feat, truth := writeTestCSVs(t)
+	var out bytes.Buffer
+	err := run([]string{"-obs", obs, "-features", feat, "-truth", truth, "-algorithm", "erm"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "via erm") {
+		t.Errorf("missing banner: %s", s[:80])
+	}
+	if !strings.Contains(s, "object,value,confidence") || !strings.Contains(s, "source,accuracy") {
+		t.Error("missing CSV headers in output")
+	}
+	// Every object row should carry a confidence in (0, 1].
+	lines := strings.Split(s, "\n")
+	sawObject := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "o") && strings.Count(l, ",") == 2 {
+			sawObject = true
+			break
+		}
+	}
+	if !sawObject {
+		t.Error("no fused object rows in output")
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	obs, _, truth := writeTestCSVs(t)
+	for _, alg := range []string{"auto", "em", "erm"} {
+		var out bytes.Buffer
+		if err := run([]string{"-obs", obs, "-truth", truth, "-algorithm", alg}, &out); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-obs", obs, "-algorithm", "bogus"}, &out); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -obs/-json should error")
+	}
+	if err := run([]string{"-obs", "/nonexistent/x.csv"}, &out); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRunJSONInput(t *testing.T) {
+	inst, err := synth.Generate(synth.Config{
+		Name: "clijson", Sources: 10, Objects: 40, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.4,
+		MeanAccuracy: 0.7, AccuracySD: 0.1, MinAccuracy: 0.5, MaxAccuracy: 0.9,
+		EnsureTruthObserved: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.WriteJSON(f, inst.Dataset, inst.Gold); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-json", path, "-algorithm", "em"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "via em") {
+		t.Error("JSON pipeline did not run EM")
+	}
+}
+
+func TestRunWritesOutputFiles(t *testing.T) {
+	obs, _, truth := writeTestCSVs(t)
+	dir := t.TempDir()
+	valPath := filepath.Join(dir, "values.csv")
+	accPath := filepath.Join(dir, "accs.csv")
+	var out bytes.Buffer
+	err := run([]string{"-obs", obs, "-truth", truth, "-algorithm", "erm",
+		"-values", valPath, "-accuracies", accPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := os.ReadFile(valPath)
+	if err != nil || !strings.Contains(string(vals), "object,value,confidence") {
+		t.Errorf("values file wrong: %v", err)
+	}
+	accs, err := os.ReadFile(accPath)
+	if err != nil || !strings.Contains(string(accs), "source,accuracy") {
+		t.Errorf("accuracies file wrong: %v", err)
+	}
+}
+
+func TestRunCopyDetectionFlag(t *testing.T) {
+	obs, _, truth := writeTestCSVs(t)
+	var out bytes.Buffer
+	if err := run([]string{"-obs", obs, "-truth", truth, "-algorithm", "erm", "-copy", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}

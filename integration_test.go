@@ -1,0 +1,149 @@
+package slimfast
+
+import (
+	"bytes"
+	"testing"
+
+	"slimfast/internal/baselines"
+	"slimfast/internal/core"
+	"slimfast/internal/data"
+	"slimfast/internal/eval"
+	"slimfast/internal/metrics"
+	"slimfast/internal/randx"
+	"slimfast/internal/synth"
+)
+
+// TestIntegrationFullPipeline exercises the complete stack the way a
+// user would: generate an instance, serialize it to JSON, read it back,
+// fuse it with SLiMFast and every baseline, and check the paper's
+// headline ordering (SLiMFast with features beats the feature-less
+// variants and simple baselines) on an instance where features carry
+// signal.
+func TestIntegrationFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration in -short mode")
+	}
+	inst, err := synth.Generate(synth.Config{
+		Name: "integration", Sources: 60, Objects: 700, DomainSize: 3,
+		Assignment: synth.IIDDensity, Density: 0.12,
+		MeanAccuracy: 0.55, AccuracySD: 0.2, MinAccuracy: 0.2, MaxAccuracy: 0.95,
+		WrongBias: 0.6,
+		Features: []synth.FeatureGroup{
+			{Name: "grade", Cardinality: 6, Informative: true, WeightScale: 2.5},
+			{Name: "junk", Cardinality: 6, Informative: false},
+		},
+		EnsureTruthObserved: true,
+		Seed:                101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize and reload: the reloaded dataset must behave
+	// identically.
+	var buf bytes.Buffer
+	if err := data.WriteJSON(&buf, inst.Dataset, inst.Gold); err != nil {
+		t.Fatal(err)
+	}
+	ds, gold, err := data.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumObservations() != inst.Dataset.NumObservations() {
+		t.Fatal("round trip lost observations")
+	}
+
+	train, test := data.Split(gold, 0.05, randx.New(5))
+
+	scores := map[string]float64{}
+	methods := []baselines.Method{
+		eval.NewSLiMFast(),
+		eval.NewSourcesERM(),
+		baselines.MajorityVote{},
+		baselines.NewACCU(),
+		baselines.NewCATD(),
+	}
+	for _, m := range methods {
+		out, err := m.Fuse(ds, train)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		scores[m.Name()] = metrics.ObjectAccuracy(out.Values, test)
+	}
+	t.Logf("accuracies: %v", scores)
+	if scores["SLiMFast"] < scores["Majority"] {
+		t.Errorf("SLiMFast (%.3f) should beat majority vote (%.3f)",
+			scores["SLiMFast"], scores["Majority"])
+	}
+	if scores["SLiMFast"]+0.02 < scores["S-ERM"] {
+		t.Errorf("features should not hurt: SLiMFast %.3f vs S-ERM %.3f",
+			scores["SLiMFast"], scores["S-ERM"])
+	}
+	if scores["SLiMFast"] < 0.7 {
+		t.Errorf("SLiMFast accuracy %.3f too low on a feature-rich instance", scores["SLiMFast"])
+	}
+}
+
+// TestIntegrationOptimizerMatchesRealWinner replays the Table 4
+// protocol on a synthetic instance where the winner flips with the
+// training fraction, checking the optimizer tracks it.
+func TestIntegrationOptimizerMatchesRealWinner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration in -short mode")
+	}
+	inst, err := synth.Generate(synth.Config{
+		Name: "flip", Sources: 150, Objects: 900, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.03,
+		MeanAccuracy: 0.75, AccuracySD: 0.1, MinAccuracy: 0.55, MaxAccuracy: 0.95,
+		EnsureTruthObserved: true, Seed: 103,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny truth: EM should be chosen (dense-enough accurate sources).
+	tiny, _ := data.Split(inst.Gold, 0.002, randx.New(1))
+	decTiny := core.Decide(inst.Dataset, tiny, core.DefaultOptimizerOptions())
+	if decTiny.Algorithm != core.AlgorithmEM {
+		t.Errorf("tiny truth should choose EM: %+v", decTiny)
+	}
+	// Full truth: ERM.
+	full, _ := data.Split(inst.Gold, 1.0, randx.New(1))
+	decFull := core.Decide(inst.Dataset, full, core.DefaultOptimizerOptions())
+	if decFull.Algorithm != core.AlgorithmERM {
+		t.Errorf("full truth should choose ERM: %+v", decFull)
+	}
+}
+
+// TestIntegrationSourceErrorHeadline verifies the Table 3 headline on a
+// controlled instance: SLiMFast's source-accuracy error stays below
+// the supervised Counts baseline at small training fractions (where
+// Counts has almost no labeled observations per source).
+func TestIntegrationSourceErrorHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration in -short mode")
+	}
+	inst, err := synth.Generate(synth.Config{
+		Name: "srcerr", Sources: 80, Objects: 800, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.08,
+		MeanAccuracy: 0.7, AccuracySD: 0.12, MinAccuracy: 0.5, MaxAccuracy: 0.95,
+		Features: []synth.FeatureGroup{
+			{Name: "q", Cardinality: 8, Informative: true, WeightScale: 2.0},
+		},
+		EnsureTruthObserved: true, Seed: 104,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim, err := eval.RunAveraged(eval.NewSLiMFast(), inst, 0.01, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := eval.RunAveraged(baselines.NewCounts(), inst, 0.01, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slim.SourceError >= counts.SourceError {
+		t.Errorf("SLiMFast source error %.4f should beat Counts %.4f at 1%% TD",
+			slim.SourceError, counts.SourceError)
+	}
+}

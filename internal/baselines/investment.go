@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"math"
+
+	"slimfast/internal/data"
+	"slimfast/internal/mathx"
+)
+
+// Investment is the iterative method of Pasternack & Roth [29]:
+// sources "invest" their trust equally across their claims, claims
+// grow the invested capital by a super-linear function G(x) = x^g, and
+// each source earns back trust in proportion to its share of each
+// claim's investment:
+//
+//	claim c:   conf(c) = G( Σ_{s claims c} t_s / |O_s| )
+//	source s:  t_s = Σ_{c ∈ claims(s)} conf(c) · (t_s/|O_s|) / Σ_{s'} t_{s'}/|O_{s'}|
+//
+// with trust normalized each round. PooledInvestment (Pooled=true)
+// applies the growth function to relative shares within each object,
+// which dampens runaway winners.
+type Investment struct {
+	// G is the growth exponent (1.2 for Investment, 1.4 for
+	// PooledInvestment in [29]).
+	G float64
+	// Pooled selects PooledInvestment.
+	Pooled    bool
+	MaxIters  int
+	Tolerance float64
+}
+
+// NewInvestment returns Investment with the settings from [29].
+func NewInvestment() *Investment {
+	return &Investment{G: 1.2, MaxIters: 30, Tolerance: 1e-6}
+}
+
+// NewPooledInvestment returns PooledInvestment with the settings
+// from [29].
+func NewPooledInvestment() *Investment {
+	return &Investment{G: 1.4, Pooled: true, MaxIters: 30, Tolerance: 1e-6}
+}
+
+// Name implements Method.
+func (iv *Investment) Name() string {
+	if iv.Pooled {
+		return "PooledInvestment"
+	}
+	return "Investment"
+}
+
+// HasProbabilisticAccuracies implements Method: investment trust is a
+// normalized score, not an accuracy.
+func (iv *Investment) HasProbabilisticAccuracies() bool { return false }
+
+// Fuse implements Method.
+func (iv *Investment) Fuse(ds *data.Dataset, train data.TruthMap) (*Output, error) {
+	nS := ds.NumSources()
+	trust := make([]float64, nS)
+	for s := range trust {
+		trust[s] = 1
+	}
+	// Precompute per-source claim counts.
+	claimCount := make([]float64, nS)
+	for s := 0; s < nS; s++ {
+		claimCount[s] = float64(ds.SourceObservationCount(data.SourceID(s)))
+	}
+	conf := make([]map[data.ValueID]float64, ds.NumObjects())
+	prev := make([]float64, nS)
+	for iter := 0; iter < iv.MaxIters; iter++ {
+		copy(prev, trust)
+		// Claim confidences from invested trust.
+		for o := 0; o < ds.NumObjects(); o++ {
+			oid := data.ObjectID(o)
+			obs := ds.ObjectObservations(oid)
+			if len(obs) == 0 {
+				continue
+			}
+			invested := map[data.ValueID]float64{}
+			for _, ob := range obs {
+				if claimCount[ob.Source] == 0 {
+					continue
+				}
+				invested[ob.Value] += trust[ob.Source] / claimCount[ob.Source]
+			}
+			cm := make(map[data.ValueID]float64, len(invested))
+			if truth, ok := train[oid]; ok {
+				// Labeled objects: pin confidence on the label.
+				for v := range invested {
+					if v == truth {
+						cm[v] = 1
+					}
+				}
+				if _, present := invested[truth]; !present {
+					cm[truth] = 1
+				}
+				conf[o] = cm
+				continue
+			}
+			if iv.Pooled {
+				var total float64
+				for _, x := range invested {
+					total += x
+				}
+				for v, x := range invested {
+					if total > 0 {
+						cm[v] = x * math.Pow(x/total, iv.G-1)
+					}
+				}
+			} else {
+				for v, x := range invested {
+					cm[v] = math.Pow(x, iv.G)
+				}
+			}
+			conf[o] = cm
+		}
+		// Trust update: each source earns back its share of its claims'
+		// confidence.
+		next := make([]float64, nS)
+		for o := 0; o < ds.NumObjects(); o++ {
+			oid := data.ObjectID(o)
+			obs := ds.ObjectObservations(oid)
+			if len(obs) == 0 || conf[o] == nil {
+				continue
+			}
+			// Total investment per value on this object.
+			invested := map[data.ValueID]float64{}
+			for _, ob := range obs {
+				if claimCount[ob.Source] == 0 {
+					continue
+				}
+				invested[ob.Value] += prev[ob.Source] / claimCount[ob.Source]
+			}
+			for _, ob := range obs {
+				if claimCount[ob.Source] == 0 || invested[ob.Value] == 0 {
+					continue
+				}
+				share := (prev[ob.Source] / claimCount[ob.Source]) / invested[ob.Value]
+				next[ob.Source] += conf[o][ob.Value] * share
+			}
+		}
+		// Normalize trust to mean 1 to keep the fixed point bounded.
+		var sum float64
+		active := 0
+		for s := range next {
+			if claimCount[s] > 0 {
+				sum += next[s]
+				active++
+			}
+		}
+		if sum == 0 || active == 0 {
+			break
+		}
+		mean := sum / float64(active)
+		for s := range next {
+			if claimCount[s] > 0 {
+				trust[s] = next[s] / mean
+			}
+		}
+		if mathx.MaxAbsDiff(trust, prev) < iv.Tolerance {
+			break
+		}
+	}
+
+	out := &Output{
+		Values:           make(map[data.ObjectID]data.ValueID, ds.NumObjects()),
+		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, ds.NumObjects()),
+		SourceAccuracies: trust,
+	}
+	for o := 0; o < ds.NumObjects(); o++ {
+		if conf[o] == nil || len(conf[o]) == 0 {
+			continue
+		}
+		oid := data.ObjectID(o)
+		out.Values[oid] = argmaxFloat(conf[o])
+		// Normalize confidences into a posterior-like distribution.
+		var total float64
+		for _, c := range conf[o] {
+			total += c
+		}
+		post := make(map[data.ValueID]float64, len(conf[o]))
+		for v, c := range conf[o] {
+			if total > 0 {
+				post[v] = c / total
+			}
+		}
+		out.Posteriors[oid] = post
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package baselines
+
+import (
+	"testing"
+
+	"slimfast/internal/data"
+	"slimfast/internal/metrics"
+	"slimfast/internal/randx"
+)
+
+func TestInvestmentVariantsBeatChance(t *testing.T) {
+	inst := benchInstance(t, 79)
+	train, test := data.Split(inst.Gold, 0.1, randx.New(1))
+	for _, m := range []Method{NewInvestment(), NewPooledInvestment()} {
+		out, err := m.Fuse(inst.Dataset, train)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		acc := metrics.ObjectAccuracy(out.Values, test)
+		if acc < 0.7 {
+			t.Errorf("%s accuracy = %v, want >= 0.7", m.Name(), acc)
+		}
+	}
+}
+
+func TestInvestmentPinsLabels(t *testing.T) {
+	inst := benchInstance(t, 80)
+	train, _ := data.Split(inst.Gold, 0.2, randx.New(2))
+	for _, m := range []Method{NewInvestment(), NewPooledInvestment()} {
+		out, err := m.Fuse(inst.Dataset, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o, v := range train {
+			if out.Values[o] != v {
+				t.Errorf("%s: label not pinned on object %d", m.Name(), o)
+				break
+			}
+		}
+	}
+}
+
+func TestInvestmentTrustFavorsAccurate(t *testing.T) {
+	inst := benchInstance(t, 81)
+	out, err := NewInvestment().Fuse(inst.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi, lo, hiN, loN float64
+	for s, a := range inst.TrueAccuracy {
+		if inst.Dataset.SourceObservationCount(data.SourceID(s)) == 0 {
+			continue
+		}
+		if a > 0.8 {
+			hi += out.SourceAccuracies[s]
+			hiN++
+		} else if a < 0.6 {
+			lo += out.SourceAccuracies[s]
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Skip("no accuracy spread")
+	}
+	if hi/hiN <= lo/loN {
+		t.Errorf("trust should track accuracy: hi=%v lo=%v", hi/hiN, lo/loN)
+	}
+}
+
+func TestInvestmentMetadata(t *testing.T) {
+	if NewInvestment().Name() != "Investment" || NewPooledInvestment().Name() != "PooledInvestment" {
+		t.Error("names wrong")
+	}
+	if NewInvestment().HasProbabilisticAccuracies() {
+		t.Error("investment trust is not an accuracy")
+	}
+}
+
+func TestInvestmentHandlesEmptyObjects(t *testing.T) {
+	b := data.NewBuilder("e")
+	b.Object("lonely")
+	b.ObserveNames("s1", "seen", "x")
+	b.ObserveNames("s2", "seen", "y")
+	d := b.Freeze()
+	for _, m := range []Method{NewInvestment(), NewPooledInvestment()} {
+		out, err := m.Fuse(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := out.Values[0]; ok {
+			t.Errorf("%s estimated an unobserved object", m.Name())
+		}
+	}
+}
+
+func TestInvestmentPosteriorsNormalized(t *testing.T) {
+	inst := benchInstance(t, 82)
+	out, err := NewPooledInvestment().Fuse(inst.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, post := range out.Posteriors {
+		var sum float64
+		for _, p := range post {
+			if p < 0 {
+				t.Fatal("negative posterior")
+			}
+			sum += p
+		}
+		if sum > 1.0001 || sum < 0.999 {
+			t.Fatalf("posterior sums to %v", sum)
+		}
+		checked++
+		if checked > 50 {
+			break
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package baselines
+
+import (
+	"math"
+
+	"slimfast/internal/data"
+	"slimfast/internal/mathx"
+)
+
+// TruthFinder is the iterative method of Yin, Han & Yu [39]. Each
+// source has a trustworthiness t_s; each claimed value a confidence.
+// One iteration computes, for value d of object o,
+//
+//	σ(d) = Σ_{s claims d} −ln(1 − t_s)            (trust score)
+//	conf(d) = 1 / (1 + e^{−γ·σ(d)})               (dampened sigmoid)
+//
+// and then re-estimates t_s as the mean confidence of the values the
+// source claims. We omit the value-similarity propagation term (no
+// similarity metric exists for opaque categorical values; the original
+// paper uses it for near-duplicate strings).
+type TruthFinder struct {
+	// Gamma is the dampening factor of [39] (0.3).
+	Gamma float64
+	// InitTrust seeds all sources (0.9 in [39]).
+	InitTrust float64
+	MaxIters  int
+	Tolerance float64
+}
+
+// NewTruthFinder returns TruthFinder with the settings from Yin et al.
+func NewTruthFinder() *TruthFinder {
+	return &TruthFinder{Gamma: 0.3, InitTrust: 0.9, MaxIters: 30, Tolerance: 1e-5}
+}
+
+// Name implements Method.
+func (*TruthFinder) Name() string { return "TruthFinder" }
+
+// HasProbabilisticAccuracies implements Method. TruthFinder's trust is
+// the average confidence of a source's claims, which approximates its
+// accuracy.
+func (*TruthFinder) HasProbabilisticAccuracies() bool { return true }
+
+// Fuse implements Method.
+func (tf *TruthFinder) Fuse(ds *data.Dataset, train data.TruthMap) (*Output, error) {
+	nS := ds.NumSources()
+	trust := make([]float64, nS)
+	for s := range trust {
+		trust[s] = tf.InitTrust
+	}
+	// Pinned confidence for labeled objects.
+	conf := make([]map[data.ValueID]float64, ds.NumObjects())
+	prev := make([]float64, nS)
+	for iter := 0; iter < tf.MaxIters; iter++ {
+		copy(prev, trust)
+		for o := 0; o < ds.NumObjects(); o++ {
+			oid := data.ObjectID(o)
+			obs := ds.ObjectObservations(oid)
+			if len(obs) == 0 {
+				continue
+			}
+			dom := ds.Domain(oid)
+			cm := make(map[data.ValueID]float64, len(dom))
+			if truth, ok := train[oid]; ok {
+				for _, d := range dom {
+					if d == truth {
+						cm[d] = 1
+					} else {
+						cm[d] = 0
+					}
+				}
+				conf[o] = cm
+				continue
+			}
+			for _, d := range dom {
+				var sigma float64
+				for _, ob := range obs {
+					if ob.Value != d {
+						continue
+					}
+					t := mathx.Clamp(trust[ob.Source], 0.01, 0.99)
+					sigma += -math.Log(1 - t)
+				}
+				cm[d] = 1 / (1 + math.Exp(-tf.Gamma*sigma))
+			}
+			conf[o] = cm
+		}
+		for s := 0; s < nS; s++ {
+			var sum, tot float64
+			for _, i := range ds.SourceObservationIndices(data.SourceID(s)) {
+				ob := ds.Observations[i]
+				if conf[ob.Object] == nil {
+					continue
+				}
+				sum += conf[ob.Object][ob.Value]
+				tot++
+			}
+			if tot > 0 {
+				trust[s] = mathx.Clamp(sum/tot, 0.01, 0.99)
+			}
+		}
+		if mathx.MaxAbsDiff(trust, prev) < tf.Tolerance {
+			break
+		}
+	}
+	out := &Output{
+		Values:           make(map[data.ObjectID]data.ValueID, ds.NumObjects()),
+		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, ds.NumObjects()),
+		SourceAccuracies: trust,
+	}
+	for o := 0; o < ds.NumObjects(); o++ {
+		if conf[o] == nil {
+			continue
+		}
+		oid := data.ObjectID(o)
+		out.Values[oid] = argmaxFloat(conf[o])
+		out.Posteriors[oid] = conf[o]
+	}
+	return out, nil
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"slimfast/internal/data"
+	"slimfast/internal/mathx"
+	"slimfast/internal/optim"
+)
+
+// FitERM learns the model weights by empirical risk minimization over
+// the ground truth G (Section 3.2): it maximizes the likelihood of the
+// labeled object values, a convex objective solved with SGD. It returns
+// the optimizer's run statistics.
+//
+// Labeled objects without observations carry no gradient and are
+// skipped.
+func (m *Model) FitERM(train data.TruthMap) (optim.Result, error) {
+	examples := m.labeledExamples(train)
+	if len(examples) == 0 {
+		return optim.Result{}, errors.New("core: FitERM requires ground truth on observed objects")
+	}
+	grad := func(i int, w []float64, g *optim.Sparse) {
+		ex := examples[i]
+		m.accumGradient(w, g, ex.object, func(dom []data.ValueID, probs []float64, out []float64) {
+			for j, v := range dom {
+				out[j] = probs[j]
+				if v == ex.truth {
+					out[j] -= 1
+				}
+			}
+		})
+	}
+	res, err := optim.Minimize(len(examples), m.w, grad, m.opts.Optim)
+	if err != nil {
+		return res, err
+	}
+	if m.opts.ERMCalibrate {
+		if err := m.CalibrateSupervised(train); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// EMStats reports what an EM run did.
+type EMStats struct {
+	Iterations int
+	Converged  bool
+	LastDelta  float64 // max weight change in the final iteration
+}
+
+// FitEM learns the weights by expectation maximization (Section 3.2).
+// Labeled objects in train (may be empty) act as evidence, making the
+// run semi-supervised. Each round alternates:
+//
+//	E-step: q_o(d) = P(To=d | Ω; w) for unlabeled objects
+//	        (labeled objects have q_o = point mass on the label),
+//	M-step: SGD on the expected negative log-likelihood under q.
+//
+// EM stops when the max weight change drops below EMTolerance or after
+// EMMaxIters rounds.
+func (m *Model) FitEM(train data.TruthMap) (EMStats, error) {
+	type emExample struct {
+		object data.ObjectID
+		truth  data.ValueID // data.None when unlabeled
+	}
+	var examples []emExample
+	for o := 0; o < m.ds.NumObjects(); o++ {
+		oid := data.ObjectID(o)
+		if len(m.ds.Domain(oid)) == 0 {
+			continue
+		}
+		truth := data.None
+		if v, ok := train[oid]; ok {
+			truth = v
+		}
+		examples = append(examples, emExample{oid, truth})
+	}
+	if len(examples) == 0 {
+		return EMStats{}, errors.New("core: FitEM requires at least one observed object")
+	}
+
+	// Break the symmetric fixed point: from all-zero weights the
+	// E-step is uniform and the M-step gradient vanishes. Seed the
+	// source weights with a prior accuracy so round one is a weighted
+	// majority vote.
+	allZero := true
+	for _, x := range m.w {
+		if x != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero && m.opts.EMInitAccuracy > 0 {
+		init := mathx.Logit(m.opts.EMInitAccuracy)
+		for i := 0; i < m.numSources*m.numClasses; i++ {
+			m.w[i] = init
+		}
+	}
+
+	// q[i] is the E-step posterior over examples[i].object's domain.
+	q := make([][]float64, len(examples))
+	prevW := make([]float64, len(m.w))
+	var stats EMStats
+	mcfg := m.opts.Optim
+	// A few SGD epochs per M-step; full convergence per round is
+	// wasted work since q moves again immediately.
+	if mcfg.Epochs > 10 {
+		mcfg.Epochs = 10
+	}
+	for iter := 0; iter < m.opts.EMMaxIters; iter++ {
+		// E-step.
+		var buf []float64
+		for i, ex := range examples {
+			scores, dom := m.objectScores(ex.object, buf)
+			buf = scores
+			if ex.truth != data.None {
+				p := make([]float64, len(dom))
+				for j, v := range dom {
+					if v == ex.truth {
+						p[j] = 1
+					}
+				}
+				q[i] = p
+				continue
+			}
+			q[i] = mathx.Softmax(scores, nil)
+		}
+		// M-step.
+		copy(prevW, m.w)
+		mcfg.Seed = m.opts.Optim.Seed + int64(iter) + 1
+		grad := func(i int, w []float64, g *optim.Sparse) {
+			ex := examples[i]
+			qi := q[i]
+			m.accumGradient(w, g, ex.object, func(dom []data.ValueID, probs []float64, out []float64) {
+				for j := range dom {
+					out[j] = probs[j] - qi[j]
+				}
+			})
+		}
+		if _, err := optim.Minimize(len(examples), m.w, grad, mcfg); err != nil {
+			return stats, err
+		}
+		stats.Iterations = iter + 1
+		stats.LastDelta = mathx.MaxAbsDiff(m.w, prevW)
+		if stats.LastDelta < m.opts.EMTolerance {
+			stats.Converged = true
+			break
+		}
+	}
+	if m.opts.EMCalibrate {
+		if err := m.Calibrate(train); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+type labeledExample struct {
+	object data.ObjectID
+	truth  data.ValueID
+}
+
+// labeledExamples returns the training examples ERM can use: labeled
+// objects with at least one observation whose label is in the observed
+// domain (the single-truth assumption guarantees this for real data;
+// labels outside the domain are unlearnable and skipped).
+func (m *Model) labeledExamples(train data.TruthMap) []labeledExample {
+	var out []labeledExample
+	for o := 0; o < m.ds.NumObjects(); o++ {
+		oid := data.ObjectID(o)
+		truth, ok := train[oid]
+		if !ok {
+			continue
+		}
+		dom := m.ds.Domain(oid)
+		if len(dom) == 0 {
+			continue
+		}
+		// Under open-world semantics a data.None label ("the truth was
+		// never reported") is trainable: it targets the wildcard
+		// coordinate.
+		found := m.opts.OpenWorld && truth == data.None
+		for _, v := range dom {
+			if v == truth {
+				found = true
+				break
+			}
+		}
+		if found {
+			out = append(out, labeledExample{oid, truth})
+		}
+	}
+	return out
+}
+
+// residualFunc computes per-value residuals r_d = ∂(-loglik)/∂score_d
+// into out given the object's domain and current softmax probabilities.
+type residualFunc func(dom []data.ValueID, probs []float64, out []float64)
+
+// accumGradient adds one object's gradient contribution to g. The
+// chain rule routes each value residual to the weights that feed that
+// value's score: observation (o,s) with value v adds r_v to w_s and to
+// every active feature weight of s; a copy agreement on value u adds
+// Σ_{d≠u} r_d to the pair weight.
+func (m *Model) accumGradient(w []float64, g *optim.Sparse, o data.ObjectID, residuals residualFunc) {
+	// Compute scores under w (which aliases m.w during optimization,
+	// but recompute defensively through a local sigma to honour the
+	// optimizer's view of the weights).
+	dom := m.ds.Domain(o)
+	if len(dom) == 0 {
+		return
+	}
+	pos := make(map[data.ValueID]int, len(dom))
+	for i, v := range dom {
+		pos[v] = i
+	}
+	nScores := len(dom)
+	if m.opts.OpenWorld {
+		// Mirror objectScores: trailing wildcard with constant bias.
+		ext := make([]data.ValueID, 0, nScores+1)
+		ext = append(ext, dom...)
+		dom = append(ext, data.None)
+		nScores++
+	}
+	scores := make([]float64, nScores)
+	if m.opts.OpenWorld {
+		scores[nScores-1] = m.opts.OpenWorldBias
+	}
+	obs := m.ds.ObjectObservations(o)
+	class := m.classOfObject(o)
+	sigma := func(s data.SourceID) float64 {
+		sg := w[m.srcIdx(s, class)]
+		if m.opts.UseFeatures {
+			for _, k := range m.ds.SourceFeatures[s] {
+				sg += w[m.featBase()+int(k)]
+			}
+		}
+		return sg
+	}
+	for _, ob := range obs {
+		scores[pos[ob.Value]] += sigma(ob.Source)
+	}
+	if m.opts.CopyFeatures {
+		for _, ag := range m.objCopyAgree[o] {
+			wp := w[m.featBase()+m.numFeatures+ag.pair]
+			for i, v := range dom {
+				if v != ag.value {
+					scores[i] += wp
+				}
+			}
+		}
+	}
+	probs := mathx.Softmax(scores, nil)
+	r := make([]float64, len(dom))
+	residuals(dom, probs, r)
+	for _, ob := range obs {
+		rv := r[pos[ob.Value]]
+		if rv == 0 {
+			continue
+		}
+		g.Add(m.srcIdx(ob.Source, class), rv)
+		if m.opts.UseFeatures {
+			for _, k := range m.ds.SourceFeatures[ob.Source] {
+				g.Add(m.featBase()+int(k), rv)
+			}
+		}
+	}
+	if m.opts.CopyFeatures {
+		for _, ag := range m.objCopyAgree[o] {
+			var sum float64
+			for i, v := range dom {
+				if v != ag.value {
+					sum += r[i]
+				}
+			}
+			g.Add(m.featBase()+m.numFeatures+ag.pair, sum)
+		}
+	}
+}
+
+// LogLikelihood returns the mean log posterior probability the current
+// weights assign to the labels in truth, over labeled observed objects.
+// Used by tests to verify learning increases likelihood.
+func (m *Model) LogLikelihood(truth data.TruthMap) float64 {
+	examples := m.labeledExamples(truth)
+	if len(examples) == 0 {
+		return 0
+	}
+	var sum float64
+	var buf []float64
+	for _, ex := range examples {
+		scores, dom := m.objectScores(ex.object, buf)
+		buf = scores
+		lse := mathx.LogSumExp(scores)
+		for i, v := range dom {
+			if v == ex.truth {
+				sum += scores[i] - lse
+				break
+			}
+		}
+	}
+	return sum / float64(len(examples))
+}
+
+// Fuse is the one-call API: fits with the requested algorithm and runs
+// inference. algorithm must be AlgorithmERM or AlgorithmEM.
+func (m *Model) Fuse(algorithm Algorithm, train data.TruthMap) (*Result, error) {
+	switch algorithm {
+	case AlgorithmERM:
+		if _, err := m.FitERM(train); err != nil {
+			return nil, err
+		}
+	case AlgorithmEM:
+		if _, err := m.FitEM(train); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errors.New("core: unknown algorithm")
+	}
+	res, err := m.Infer(train)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = algorithm.String()
+	return res, nil
+}
+
+// ExpectedLogLoss computes the mean negative log posterior of the gold
+// label over the given objects (the generalization loss L(w) of
+// Theorem 1), used by the theory-validation experiments.
+func (m *Model) ExpectedLogLoss(gold data.TruthMap) float64 {
+	examples := m.labeledExamples(gold)
+	if len(examples) == 0 {
+		return 0
+	}
+	var sum float64
+	var buf []float64
+	for _, ex := range examples {
+		scores, dom := m.objectScores(ex.object, buf)
+		buf = scores
+		lse := mathx.LogSumExp(scores)
+		for i, v := range dom {
+			if v == ex.truth {
+				sum += -(scores[i] - lse)
+				break
+			}
+		}
+	}
+	loss := sum / float64(len(examples))
+	if math.IsNaN(loss) {
+		return math.Inf(1)
+	}
+	return loss
+}

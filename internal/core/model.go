@@ -1,0 +1,605 @@
+// Package core implements SLiMFast (Sections 3–4 of the paper): a
+// discriminative data-fusion model that couples cross-source conflicts
+// with domain-specific source features, learned either by empirical
+// risk minimization (ERM, when ground truth is available) or by
+// expectation maximization (EM), with an optimizer that picks between
+// the two (Section 4.3).
+//
+// The model is Equation 4:
+//
+//	P(To = d | Ω; w) ∝ exp Σ_{(o,s)∈Ω} (w_s + Σ_k w_k f_sk) · 1[v_os = d]
+//
+// so each source's reliability score σ_s = w_s + Σ_k w_k f_sk doubles as
+// the log-odds of its accuracy: A_s = logistic(σ_s) (Equations 2–3).
+// The Appendix D copying extension adds pairwise features over source
+// pairs that penalize agreement between suspected copiers.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"slimfast/internal/data"
+	"slimfast/internal/factor"
+	"slimfast/internal/mathx"
+	"slimfast/internal/optim"
+)
+
+// Inference selects how posteriors are computed.
+type Inference int
+
+const (
+	// Exact computes Equation 4 posteriors in closed form (the model
+	// factorizes over objects). This is the default.
+	Exact Inference = iota
+	// Gibbs compiles the model to a factor graph and samples, matching
+	// the paper's DeepDive execution path.
+	Gibbs
+)
+
+// Options configures a SLiMFast model.
+type Options struct {
+	// UseFeatures includes the domain-specific feature weights w_k.
+	// Disabling them yields the paper's Sources-ERM / Sources-EM
+	// variants, which rely on the per-source indicators only.
+	UseFeatures bool
+
+	// CopyFeatures adds Appendix D's pairwise copying features for
+	// source pairs that co-observe at least MinCopyOverlap objects.
+	CopyFeatures   bool
+	MinCopyOverlap int
+
+	// Inference selects exact closed-form posteriors or Gibbs
+	// sampling over the compiled factor graph.
+	Inference Inference
+	Gibbs     factor.GibbsConfig
+
+	// Optim configures the SGD/AdaGrad runs inside ERM and each EM
+	// M-step.
+	Optim optim.Config
+
+	// EMMaxIters bounds the number of EM rounds; EMTolerance stops
+	// early when the maximum weight change between rounds drops below
+	// it.
+	EMMaxIters  int
+	EMTolerance float64
+
+	// EMCalibrate runs a post-EM calibration pass (see Calibrate) that
+	// anchors A_s = logistic(σ_s) on posterior-agreement counts, the
+	// construction used by the paper's Theorem 3 proof. Without it, σ
+	// is only weakly identified once posteriors saturate.
+	EMCalibrate bool
+
+	// ERMCalibrate runs the same pass after ERM: the supervised
+	// likelihood suffers the same weak identification on dense
+	// instances (saturated posteriors accept any weights above a
+	// margin), and calibration restores Equation 2's σ_s = logit(A_s)
+	// reading that the paper's Table 3 errors reflect.
+	ERMCalibrate bool
+
+	// EMInitAccuracy seeds the per-source weights with
+	// logit(EMInitAccuracy) when EM starts from all-zero weights.
+	// All-zero weights are a fixed point of EM (uniform posteriors
+	// produce zero gradients), so the first E-step must be anchored;
+	// this makes it a weighted majority vote, the standard
+	// initialization in the truth-discovery literature.
+	EMInitAccuracy float64
+
+	// ObjectClasses optionally assigns each object (by dense id) a
+	// class in [0, NumClasses); the model then learns one accuracy
+	// parameter per (source, class), the relaxation Section 2 of the
+	// paper describes for sources whose reliability differs across
+	// object categories. Domain-feature weights stay shared across
+	// classes. Nil means a single class.
+	ObjectClasses []int
+	NumClasses    int
+
+	// OpenWorld enables the open-world semantics sketched in Section 2
+	// of the paper: every object's domain gains a wildcard value
+	// (data.None) meaning "the true value was not reported by any
+	// source", with constant log-score OpenWorldBias. Objects whose
+	// posterior favours the wildcard are returned with data.None as
+	// their value. More negative biases approach closed-world
+	// behaviour.
+	OpenWorld     bool
+	OpenWorldBias float64
+
+	// PredictIntercept controls unseen-source accuracy prediction
+	// (Section 5.3.2): when true, the mean of the learned per-source
+	// weights is used as an intercept alongside the feature weights.
+	PredictIntercept bool
+}
+
+// DefaultOptions returns the configuration used across the experiment
+// suite.
+func DefaultOptions() Options {
+	oc := optim.DefaultConfig()
+	oc.L2 = 1e-3 // keep separable instances finite
+	return Options{
+		UseFeatures:      true,
+		MinCopyOverlap:   3,
+		Inference:        Exact,
+		Gibbs:            factor.DefaultGibbsConfig(),
+		Optim:            oc,
+		EMMaxIters:       25,
+		EMTolerance:      1e-3,
+		EMCalibrate:      true,
+		ERMCalibrate:     true,
+		EMInitAccuracy:   0.8,
+		PredictIntercept: true,
+	}
+}
+
+// Model is a compiled SLiMFast instance over one dataset. Construct
+// with Compile; learn with FitERM or FitEM; read results with Infer,
+// SourceAccuracies and the Weights accessors.
+type Model struct {
+	ds   *data.Dataset
+	opts Options
+
+	// w holds all weights: per-source w_s at [0, |S|), per-feature w_k
+	// at [|S|, |S|+|K|), copy-pair weights after that.
+	w []float64
+
+	numSources  int
+	numFeatures int
+	numClasses  int
+	classOf     []int // per-object class; nil means all class 0
+
+	// copyPairs lists the source pairs with pairwise copy features;
+	// copyAgree[p] lists, for each pair, the (object, value) agreements
+	// it has, precomputed at compile time.
+	copyPairs []copyPair
+	// objCopyAgree[o] lists agreements relevant to object o: which copy
+	// pair agreed and on which value.
+	objCopyAgree [][]copyAgreement
+}
+
+type copyPair struct {
+	a, b data.SourceID
+}
+
+type copyAgreement struct {
+	pair  int // index into copyPairs
+	value data.ValueID
+}
+
+// Compile builds a Model over the dataset. It precomputes the copy-pair
+// structure when Options.CopyFeatures is set.
+func Compile(ds *data.Dataset, opts Options) (*Model, error) {
+	if ds == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	if err := opts.Optim.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.EMMaxIters <= 0 {
+		return nil, errors.New("core: EMMaxIters must be positive")
+	}
+	m := &Model{
+		ds:          ds,
+		opts:        opts,
+		numSources:  ds.NumSources(),
+		numFeatures: ds.NumFeatures(),
+		numClasses:  1,
+	}
+	if opts.ObjectClasses != nil {
+		if len(opts.ObjectClasses) != ds.NumObjects() {
+			return nil, fmt.Errorf("core: ObjectClasses has %d entries, want %d", len(opts.ObjectClasses), ds.NumObjects())
+		}
+		if opts.NumClasses < 1 {
+			return nil, errors.New("core: NumClasses must be >= 1 with ObjectClasses")
+		}
+		for o, c := range opts.ObjectClasses {
+			if c < 0 || c >= opts.NumClasses {
+				return nil, fmt.Errorf("core: object %d class %d out of [0,%d)", o, c, opts.NumClasses)
+			}
+		}
+		m.numClasses = opts.NumClasses
+		m.classOf = opts.ObjectClasses
+	}
+	if opts.CopyFeatures {
+		m.buildCopyPairs()
+	}
+	m.w = make([]float64, m.numSources*m.numClasses+m.numFeatures+len(m.copyPairs))
+	return m, nil
+}
+
+// srcIdx returns the weight index of source s in class c.
+func (m *Model) srcIdx(s data.SourceID, c int) int { return c*m.numSources + int(s) }
+
+// featBase returns the index of the first feature weight.
+func (m *Model) featBase() int { return m.numSources * m.numClasses }
+
+// classOfObject returns the class of object o (0 when unclassed).
+func (m *Model) classOfObject(o data.ObjectID) int {
+	if m.classOf == nil {
+		return 0
+	}
+	return m.classOf[o]
+}
+
+// NumClasses returns the number of per-source accuracy classes.
+func (m *Model) NumClasses() int { return m.numClasses }
+
+// buildCopyPairs finds source pairs co-observing at least
+// MinCopyOverlap objects and records their per-object agreements.
+func (m *Model) buildCopyPairs() {
+	type pairKey struct{ a, b data.SourceID }
+	overlap := map[pairKey]int{}
+	type agreeRec struct {
+		o data.ObjectID
+		v data.ValueID
+	}
+	agreeByPair := map[pairKey][]agreeRec{}
+	for o := 0; o < m.ds.NumObjects(); o++ {
+		obs := m.ds.ObjectObservations(data.ObjectID(o))
+		for i := 0; i < len(obs); i++ {
+			for j := i + 1; j < len(obs); j++ {
+				k := pairKey{obs[i].Source, obs[j].Source}
+				overlap[k]++
+				if obs[i].Value == obs[j].Value {
+					agreeByPair[k] = append(agreeByPair[k], agreeRec{data.ObjectID(o), obs[i].Value})
+				}
+			}
+		}
+	}
+	m.objCopyAgree = make([][]copyAgreement, m.ds.NumObjects())
+	// Deterministic pair order: sort keys before assigning indices so
+	// learned weights are reproducible across runs.
+	keys := make([]pairKey, 0, len(overlap))
+	for k := range overlap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		if overlap[k] < m.opts.MinCopyOverlap {
+			continue
+		}
+		idx := len(m.copyPairs)
+		m.copyPairs = append(m.copyPairs, copyPair{k.a, k.b})
+		for _, ar := range agreeByPair[k] {
+			m.objCopyAgree[ar.o] = append(m.objCopyAgree[ar.o], copyAgreement{pair: idx, value: ar.v})
+		}
+	}
+}
+
+// NumParams returns the total number of learned weights.
+func (m *Model) NumParams() int { return len(m.w) }
+
+// NumCopyPairs returns how many pairwise copying features were
+// compiled.
+func (m *Model) NumCopyPairs() int { return len(m.copyPairs) }
+
+// CopyPair returns the source pair and learned weight of copy feature
+// p. Large positive weights mark suspected copiers (their agreement is
+// discounted during fusion), matching Figure 8's reading.
+func (m *Model) CopyPair(p int) (a, b data.SourceID, weight float64) {
+	cp := m.copyPairs[p]
+	return cp.a, cp.b, m.w[m.featBase()+m.numFeatures+p]
+}
+
+// Weights exposes the raw weight vector (source weights first, then
+// feature weights, then copy weights). The returned slice aliases the
+// model; treat it as read-only.
+func (m *Model) Weights() []float64 { return m.w }
+
+// SetWeights overwrites the model weights; used by tests and by the
+// Lasso-path sweep. The length must match NumParams.
+func (m *Model) SetWeights(w []float64) error {
+	if len(w) != len(m.w) {
+		return fmt.Errorf("core: SetWeights: got %d weights, want %d", len(w), len(m.w))
+	}
+	copy(m.w, w)
+	return nil
+}
+
+// FeatureWeight returns w_k for feature k.
+func (m *Model) FeatureWeight(k data.FeatureID) float64 {
+	return m.w[m.featBase()+int(k)]
+}
+
+// Sigma returns the reliability score σ_s = w_s + Σ_k w_k f_sk of
+// source s under the current weights (class 0 when per-class
+// accuracies are enabled; see SigmaClass).
+func (m *Model) Sigma(s data.SourceID) float64 { return m.SigmaClass(s, 0) }
+
+// SigmaClass returns source s's reliability score for objects of the
+// given class.
+func (m *Model) SigmaClass(s data.SourceID, class int) float64 {
+	sigma := m.w[m.srcIdx(s, class)]
+	if m.opts.UseFeatures {
+		for _, k := range m.ds.SourceFeatures[s] {
+			sigma += m.w[m.featBase()+int(k)]
+		}
+	}
+	return sigma
+}
+
+// SourceAccuracies returns A_s = logistic(σ_s) for every source
+// (Equation 3). With per-class accuracies enabled this is the class-0
+// estimate; use SourceAccuraciesByClass for all classes.
+func (m *Model) SourceAccuracies() []float64 {
+	acc := make([]float64, m.numSources)
+	for s := range acc {
+		acc[s] = mathx.Logistic(m.Sigma(data.SourceID(s)))
+	}
+	return acc
+}
+
+// SourceAccuraciesByClass returns accuracies indexed [class][source].
+func (m *Model) SourceAccuraciesByClass() [][]float64 {
+	out := make([][]float64, m.numClasses)
+	for c := range out {
+		out[c] = make([]float64, m.numSources)
+		for s := range out[c] {
+			out[c][s] = mathx.Logistic(m.SigmaClass(data.SourceID(s), c))
+		}
+	}
+	return out
+}
+
+// PredictAccuracy estimates the accuracy of a source never seen during
+// training, from its feature labels alone (Section 5.3.2, Figure 7).
+// Labels absent from the training feature vocabulary are ignored.
+func (m *Model) PredictAccuracy(featureLabels []string) float64 {
+	idx := make(map[string]data.FeatureID, m.numFeatures)
+	for i, n := range m.ds.FeatureNames {
+		idx[n] = data.FeatureID(i)
+	}
+	var sigma float64
+	if m.opts.PredictIntercept && m.numSources > 0 {
+		var sum float64
+		n := m.numSources * m.numClasses
+		for i := 0; i < n; i++ {
+			sum += m.w[i]
+		}
+		sigma += sum / float64(n)
+	}
+	if m.opts.UseFeatures {
+		for _, lbl := range featureLabels {
+			if k, ok := idx[lbl]; ok {
+				sigma += m.w[m.featBase()+int(k)]
+			}
+		}
+	}
+	return mathx.Logistic(sigma)
+}
+
+// objectScores computes the unnormalized log-posterior scores for every
+// value in Do of object o under the current weights (Equation 4 plus
+// copy features), writing into buf and returning it alongside the
+// domain. Under open-world semantics the returned domain carries a
+// trailing data.None wildcard whose score is the configured bias.
+func (m *Model) objectScores(o data.ObjectID, buf []float64) ([]float64, []data.ValueID) {
+	base := m.ds.Domain(o)
+	if len(base) == 0 {
+		return buf[:0], nil
+	}
+	dom := base
+	n := len(base)
+	if m.opts.OpenWorld {
+		n++
+	}
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	if m.opts.OpenWorld {
+		dom = make([]data.ValueID, 0, n)
+		dom = append(dom, base...)
+		dom = append(dom, data.None)
+		buf[n-1] = m.opts.OpenWorldBias
+	}
+	pos := make(map[data.ValueID]int, len(base))
+	for i, v := range base {
+		pos[v] = i
+	}
+	class := m.classOfObject(o)
+	for _, ob := range m.ds.ObjectObservations(o) {
+		buf[pos[ob.Value]] += m.SigmaClass(ob.Source, class)
+	}
+	if m.opts.CopyFeatures {
+		for _, ag := range m.objCopyAgree[o] {
+			wp := m.w[m.featBase()+m.numFeatures+ag.pair]
+			// Appendix D: the feature is active when the fused value
+			// differs from what the agreeing pair reported, so every
+			// value except the agreed one gets +wp (the wildcard
+			// included: an unreported truth also contradicts the
+			// copiers).
+			for i, v := range dom {
+				if v != ag.value {
+					buf[i] += wp
+				}
+			}
+		}
+	}
+	return buf, dom
+}
+
+// Posterior returns P(To = d | Ω; w) over the object's domain, computed
+// exactly. Objects with no observations return nil.
+func (m *Model) Posterior(o data.ObjectID) map[data.ValueID]float64 {
+	scores, dom := m.objectScores(o, nil)
+	if len(dom) == 0 {
+		return nil
+	}
+	probs := mathx.Softmax(scores, nil)
+	out := make(map[data.ValueID]float64, len(dom))
+	for i, v := range dom {
+		out[v] = probs[i]
+	}
+	return out
+}
+
+// Result is the output of data fusion: MAP values and posteriors per
+// object, plus the estimated source accuracies.
+type Result struct {
+	Values           map[data.ObjectID]data.ValueID
+	Posteriors       map[data.ObjectID]map[data.ValueID]float64
+	SourceAccuracies []float64
+	// Algorithm records which learner produced the weights
+	// ("erm", "em", or "none" for an unfitted model).
+	Algorithm string
+}
+
+// Infer runs posterior inference for every object under the current
+// weights, using exact computation or Gibbs sampling per Options. Known
+// labels (may be nil) are clamped as evidence: their value is returned
+// verbatim, matching the paper's semi-supervised treatment.
+func (m *Model) Infer(known data.TruthMap) (*Result, error) {
+	switch m.opts.Inference {
+	case Exact:
+		return m.inferExact(known), nil
+	case Gibbs:
+		return m.inferGibbs(known)
+	default:
+		return nil, fmt.Errorf("core: unknown inference kind %d", m.opts.Inference)
+	}
+}
+
+func (m *Model) inferExact(known data.TruthMap) *Result {
+	res := &Result{
+		Values:           make(map[data.ObjectID]data.ValueID, m.ds.NumObjects()),
+		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, m.ds.NumObjects()),
+		SourceAccuracies: m.SourceAccuracies(),
+	}
+	var buf []float64
+	for o := 0; o < m.ds.NumObjects(); o++ {
+		oid := data.ObjectID(o)
+		if v, ok := known[oid]; ok {
+			res.Values[oid] = v
+			res.Posteriors[oid] = map[data.ValueID]float64{v: 1}
+			continue
+		}
+		scores, dom := m.objectScores(oid, buf)
+		buf = scores
+		if len(dom) == 0 {
+			continue
+		}
+		probs := mathx.Softmax(scores, nil)
+		post := make(map[data.ValueID]float64, len(dom))
+		best, bestP := dom[0], probs[0]
+		for i, v := range dom {
+			post[v] = probs[i]
+			if probs[i] > bestP {
+				best, bestP = v, probs[i]
+			}
+		}
+		res.Values[oid] = best
+		res.Posteriors[oid] = post
+	}
+	return res
+}
+
+// inferGibbs compiles the current model into a factor graph and runs
+// the sampler, the execution path the paper uses via DeepDive.
+func (m *Model) inferGibbs(known data.TruthMap) (*Result, error) {
+	var g factor.Graph
+	varOf := make([]int, m.ds.NumObjects())
+	domains := make([][]data.ValueID, m.ds.NumObjects())
+	for o := 0; o < m.ds.NumObjects(); o++ {
+		oid := data.ObjectID(o)
+		dom := m.ds.Domain(oid)
+		if len(dom) == 0 {
+			varOf[o] = -1
+			continue
+		}
+		if m.opts.OpenWorld {
+			ext := make([]data.ValueID, 0, len(dom)+1)
+			ext = append(ext, dom...)
+			dom = append(ext, data.None)
+		}
+		domains[o] = dom
+		varOf[o] = g.AddVariable(len(dom))
+		pos := make(map[data.ValueID]int, len(dom))
+		for i, v := range dom {
+			pos[v] = i
+		}
+		if m.opts.OpenWorld {
+			f := factor.Factor{
+				Vars:      []int{varOf[o]},
+				Weight:    m.opts.OpenWorldBias,
+				Potential: factor.IndicatorEquals(len(dom) - 1),
+			}
+			if err := g.AddFactor(f); err != nil {
+				return nil, err
+			}
+		}
+		if v, ok := known[oid]; ok {
+			if i, exists := pos[v]; exists {
+				if err := g.SetEvidence(varOf[o], i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		class := m.classOfObject(oid)
+		for _, ob := range m.ds.ObjectObservations(oid) {
+			f := factor.Factor{
+				Vars:      []int{varOf[o]},
+				Weight:    m.SigmaClass(ob.Source, class),
+				Potential: factor.IndicatorEquals(pos[ob.Value]),
+			}
+			if err := g.AddFactor(f); err != nil {
+				return nil, err
+			}
+		}
+		if m.opts.CopyFeatures {
+			for _, ag := range m.objCopyAgree[oid] {
+				wp := m.w[m.featBase()+m.numFeatures+ag.pair]
+				f := factor.Factor{
+					Vars:      []int{varOf[o]},
+					Weight:    wp,
+					Potential: factor.IndicatorNotEquals(pos[ag.value]),
+				}
+				if err := g.AddFactor(f); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	marg, err := g.Gibbs(m.opts.Gibbs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Values:           make(map[data.ObjectID]data.ValueID, m.ds.NumObjects()),
+		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, m.ds.NumObjects()),
+		SourceAccuracies: m.SourceAccuracies(),
+	}
+	for o := 0; o < m.ds.NumObjects(); o++ {
+		oid := data.ObjectID(o)
+		if varOf[o] < 0 {
+			if v, ok := known[oid]; ok {
+				res.Values[oid] = v
+				res.Posteriors[oid] = map[data.ValueID]float64{v: 1}
+			}
+			continue
+		}
+		dom := domains[o]
+		ps := marg[varOf[o]]
+		post := make(map[data.ValueID]float64, len(dom))
+		best, bestP := dom[0], ps[0]
+		for i, v := range dom {
+			post[v] = ps[i]
+			if ps[i] > bestP {
+				best, bestP = v, ps[i]
+			}
+		}
+		if v, ok := known[oid]; ok {
+			best = v
+		}
+		res.Values[oid] = best
+		res.Posteriors[oid] = post
+	}
+	return res, nil
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"slimfast/internal/data"
+	"slimfast/internal/mathx"
+	"slimfast/internal/randx"
+	"slimfast/internal/synth"
+)
+
+func TestEstimateAverageAccuracyRecovers(t *testing.T) {
+	// Homogeneous sources: the matrix-completion estimator should
+	// recover the common accuracy on a binary domain.
+	for _, acc := range []float64{0.6, 0.75, 0.9} {
+		inst, err := synth.Generate(synth.Config{
+			Name: "a", Sources: 80, Objects: 800, DomainSize: 2,
+			Assignment: synth.IIDDensity, Density: 0.2,
+			MeanAccuracy: acc, AccuracySD: 0.01,
+			MinAccuracy: acc - 0.02, MaxAccuracy: acc + 0.02,
+			Seed: 61,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := EstimateAverageAccuracy(inst.Dataset, false)
+		if math.Abs(got-acc) > 0.04 {
+			t.Errorf("acc=%v: estimate %v (paper closed form)", acc, got)
+		}
+		gotW := EstimateAverageAccuracy(inst.Dataset, true)
+		if math.Abs(gotW-acc) > 0.04 {
+			t.Errorf("acc=%v: estimate %v (overlap-weighted)", acc, gotW)
+		}
+	}
+}
+
+func TestEstimateAverageAccuracyDegenerate(t *testing.T) {
+	b := data.NewBuilder("one")
+	b.ObserveNames("only", "o", "v")
+	d := b.Freeze()
+	if got := EstimateAverageAccuracy(d, false); got != 0.5 {
+		t.Errorf("single source should give 0.5, got %v", got)
+	}
+	// Two sources, no overlap.
+	b2 := data.NewBuilder("nooverlap")
+	b2.ObserveNames("s1", "o1", "v")
+	b2.ObserveNames("s2", "o2", "v")
+	d2 := b2.Freeze()
+	if got := EstimateAverageAccuracy(d2, true); got != 0.5 {
+		t.Errorf("no overlap should give 0.5, got %v", got)
+	}
+	if got := EstimateAverageAccuracy(d2, false); got != 0.5 {
+		t.Errorf("no overlap (paper form) should give 0.5, got %v", got)
+	}
+}
+
+func TestEMUnitsExample8(t *testing.T) {
+	// Paper Example 8: 10 sources, accuracy 0.7, binary object.
+	// pe = 0.8497, H = 0.611, per-object gain = 0.389 (Algorithm 1)
+	// or 3.89 when multiplied by m (Example 8's arithmetic).
+	b := data.NewBuilder("ex8")
+	for i := 0; i < 5; i++ {
+		b.ObserveNames("s"+string(rune('a'+i)), "o", "true")
+	}
+	for i := 5; i < 10; i++ {
+		b.ObserveNames("s"+string(rune('a'+i)), "o", "false")
+	}
+	d := b.Freeze()
+	units := EMUnits(d, 0.7, false)
+	if math.Abs(units-0.389) > 1e-3 {
+		t.Errorf("EMUnits = %v, want 0.389 (Algorithm 1)", units)
+	}
+	unitsM := EMUnits(d, 0.7, true)
+	if math.Abs(unitsM-3.89) > 1e-2 {
+		t.Errorf("EMUnits×m = %v, want 3.89 (Example 8)", unitsM)
+	}
+}
+
+func TestEMUnitsSkipsLowConfidenceObjects(t *testing.T) {
+	// With accuracy 0.5 on a binary object, pe = P(majority correct)
+	// is near 0.5, so 1−H(pe) ≈ 0 and low-pe objects are skipped.
+	b := data.NewBuilder("low")
+	b.ObserveNames("s1", "o", "x")
+	b.ObserveNames("s2", "o", "y")
+	d := b.Freeze()
+	if units := EMUnits(d, 0.5, false); units > 0.05 {
+		t.Errorf("uninformative object should contribute ~0 units, got %v", units)
+	}
+}
+
+func TestEMUnitsMonotoneInAccuracy(t *testing.T) {
+	inst, err := synth.Generate(synth.Config{
+		Name: "mono", Sources: 50, Objects: 300, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.2,
+		MeanAccuracy: 0.7, AccuracySD: 0.05, MinAccuracy: 0.5, MaxAccuracy: 0.9,
+		Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, a := range []float64{0.55, 0.65, 0.75, 0.85, 0.95} {
+		u := EMUnits(inst.Dataset, a, false)
+		if u < prev {
+			t.Fatalf("EMUnits not monotone in accuracy at %v: %v < %v", a, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestDecideBoundFiresWithMassiveTruth(t *testing.T) {
+	inst, err := synth.Generate(synth.Config{
+		Name: "big", Sources: 20, Objects: 2000, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.1,
+		MeanAccuracy: 0.7, AccuracySD: 0.05, MinAccuracy: 0.5, MaxAccuracy: 0.9,
+		Features: []synth.FeatureGroup{{Name: "f", Cardinality: 4, Informative: true, WeightScale: 1}},
+		Seed:     63,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |K| = 4, |G| = 2000: bound = sqrt(4/2000)·log(2000) ≈ 0.34.
+	// With tau 0.5 the bound fires.
+	train, _ := data.Split(inst.Gold, 1.0, randx.New(1))
+	dec := Decide(inst.Dataset, train, OptimizerOptions{Tau: 0.5})
+	if dec.Algorithm != AlgorithmERM || !dec.BoundFired {
+		t.Errorf("massive truth should fire the ERM bound: %+v", dec)
+	}
+}
+
+func TestDecideNoTruthPrefersEM(t *testing.T) {
+	inst, err := synth.Generate(synth.Config{
+		Name: "none", Sources: 50, Objects: 500, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.1,
+		MeanAccuracy: 0.75, AccuracySD: 0.05, MinAccuracy: 0.55, MaxAccuracy: 0.9,
+		Seed: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Decide(inst.Dataset, data.TruthMap{}, DefaultOptimizerOptions())
+	if dec.Algorithm != AlgorithmEM {
+		t.Errorf("no ground truth should choose EM: %+v", dec)
+	}
+	if !math.IsInf(dec.ERMBound, 1) {
+		t.Errorf("ERM bound should be +Inf with no truth, got %v", dec.ERMBound)
+	}
+}
+
+func TestDecideTradeoffTrainingData(t *testing.T) {
+	// Dense accurate instance: EM wins at tiny training fractions, ERM
+	// as truth grows — the Figure 2/5 tradeoff.
+	inst, err := synth.Generate(synth.Config{
+		Name: "trade", Sources: 100, Objects: 1000, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.05,
+		MeanAccuracy: 0.8, AccuracySD: 0.05, MinAccuracy: 0.6, MaxAccuracy: 0.95,
+		Seed: 65,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, _ := data.Split(inst.Gold, 0.001, randx.New(2))
+	full, _ := data.Split(inst.Gold, 1.0, randx.New(2))
+	opts := OptimizerOptions{Tau: 0} // disable the bound shortcut
+	decTiny := Decide(inst.Dataset, tiny, opts)
+	decFull := Decide(inst.Dataset, full, opts)
+	if decTiny.Algorithm != AlgorithmEM {
+		t.Errorf("tiny truth on dense accurate instance should pick EM: %+v", decTiny)
+	}
+	if decFull.Algorithm != AlgorithmERM {
+		t.Errorf("full truth should pick ERM: %+v", decFull)
+	}
+}
+
+func TestDecideUsesSourceCountWithoutFeatures(t *testing.T) {
+	b := data.NewBuilder("nofeat")
+	b.ObserveNames("s1", "o1", "a")
+	b.ObserveNames("s2", "o1", "b")
+	d := b.Freeze()
+	dec := Decide(d, data.TruthMap{0: 0}, OptimizerOptions{Tau: 0.0001})
+	// |K|=0 so capacity falls back to |S|=2; with |G|=1 the bound is 0
+	// (log 1 = 0) but |G|<=1 must not fire the bound.
+	if dec.BoundFired {
+		t.Errorf("bound must not fire on a single example: %+v", dec)
+	}
+}
+
+func TestFuseAutoEndToEnd(t *testing.T) {
+	inst, err := synth.Generate(synth.Config{
+		Name: "auto", Sources: 40, Objects: 500, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.2,
+		MeanAccuracy: 0.72, AccuracySD: 0.1, MinAccuracy: 0.5, MaxAccuracy: 0.95,
+		EnsureTruthObserved: true, Seed: 66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := data.Split(inst.Gold, 0.1, randx.New(3))
+	m, err := Compile(inst.Dataset, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, dec, err := m.FuseAuto(train, DefaultOptimizerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != dec.Algorithm.String() {
+		t.Errorf("result algorithm %q != decision %q", res.Algorithm, dec.Algorithm)
+	}
+	correct := 0
+	for o, v := range test {
+		if res.Values[o] == v {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.85 {
+		t.Errorf("FuseAuto accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestFuseAutoNoTruthForcesEM(t *testing.T) {
+	inst, err := synth.Generate(synth.Config{
+		Name: "auto2", Sources: 30, Objects: 200, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.3,
+		MeanAccuracy: 0.75, AccuracySD: 0.05, MinAccuracy: 0.55, MaxAccuracy: 0.9,
+		EnsureTruthObserved: true, Seed: 67,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(inst.Dataset, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, dec, err := m.FuseAuto(nil, DefaultOptimizerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Algorithm != AlgorithmEM || res.Algorithm != "em" {
+		t.Errorf("no truth must force EM: %+v %q", dec, res.Algorithm)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgorithmERM.String() != "erm" || AlgorithmEM.String() != "em" {
+		t.Error("Algorithm.String wrong")
+	}
+}
+
+func TestAgreementEstimatorAblation(t *testing.T) {
+	// On a sparse long-tail instance, the overlap-weighted variant
+	// should be no worse than the paper's closed form.
+	inst, err := synth.Generate(synth.Config{
+		Name: "sparse", Sources: 300, Objects: 400, DomainSize: 2,
+		Assignment: synth.SkewedSources, ObsPerObject: 4, SourceSkew: 0.8,
+		MeanAccuracy: 0.7, AccuracySD: 0.02, MinAccuracy: 0.65, MaxAccuracy: 0.75,
+		Seed: 68,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := EstimateAverageAccuracy(inst.Dataset, false)
+	weighted := EstimateAverageAccuracy(inst.Dataset, true)
+	truth := mathx.Clamp(0.7, 0, 1)
+	if math.Abs(weighted-truth) > math.Abs(paper-truth)+0.02 {
+		t.Errorf("overlap-weighted (%v) should not be much worse than paper form (%v)", weighted, paper)
+	}
+}

@@ -1,0 +1,443 @@
+// Package data defines the data-fusion input/output model from Section 2
+// of the SLiMFast paper: sources S, objects O, observations Ω (the value
+// v_{o,s} each source assigns to each object it reports on), optional
+// ground truth G, and optional domain-specific features F over sources.
+//
+// The representation is columnar and index-based: sources, objects,
+// values, and features are interned to dense integer ids so the learning
+// code can use flat slices. The string names are kept for I/O and
+// reporting.
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SourceID identifies a data source (an article, web domain, or crowd
+// worker in the paper's scenarios).
+type SourceID int
+
+// ObjectID identifies a real-world object whose true value is sought.
+type ObjectID int
+
+// ValueID identifies one of the distinct values in an object's domain.
+// Values are interned globally; an object's candidate set Do is the set
+// of distinct values its sources assigned to it.
+type ValueID int
+
+// FeatureID identifies a domain-specific Boolean feature over sources
+// (e.g. "BounceRate=Low", "PubYear=2009").
+type FeatureID int
+
+// None marks an absent value (for example "object has no estimate").
+const None ValueID = -1
+
+// Observation is one entry of Ω: source Source claims object Object has
+// value Value.
+type Observation struct {
+	Source SourceID
+	Object ObjectID
+	Value  ValueID
+}
+
+// Dataset is an immutable data-fusion instance. Build one with a
+// Builder; after Freeze the adjacency indexes below are populated and
+// the struct must not be mutated.
+type Dataset struct {
+	// Name labels the instance in reports ("stocks", "genomics", ...).
+	Name string
+
+	// SourceNames, ObjectNames and ValueNames map dense ids back to
+	// the external identifiers.
+	SourceNames []string
+	ObjectNames []string
+	ValueNames  []string
+	// FeatureNames maps FeatureID to the feature-value label.
+	FeatureNames []string
+
+	// Observations is Ω. The slice is sorted by (Object, Source).
+	Observations []Observation
+
+	// SourceFeatures[s] lists the FeatureIDs active for source s
+	// (Boolean features; absent means 0). Sorted ascending.
+	SourceFeatures [][]FeatureID
+
+	// byObject[o] indexes the observations for object o as a subslice
+	// of Observations; bySource[s] holds indices into Observations for
+	// source s.
+	byObject [][]Observation
+	bySource [][]int
+
+	// domain[o] is Do: the distinct values assigned to object o,
+	// sorted ascending.
+	domain [][]ValueID
+
+	frozen bool
+}
+
+// TruthMap assigns true values to a subset of objects; it serves both as
+// ground truth G (training) and as the gold labels used for evaluation.
+type TruthMap map[ObjectID]ValueID
+
+// NumSources returns |S|.
+func (d *Dataset) NumSources() int { return len(d.SourceNames) }
+
+// NumObjects returns |O|.
+func (d *Dataset) NumObjects() int { return len(d.ObjectNames) }
+
+// NumValues returns the number of interned distinct values.
+func (d *Dataset) NumValues() int { return len(d.ValueNames) }
+
+// NumFeatures returns |K| in terms of distinct feature values.
+func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
+
+// NumObservations returns |Ω|.
+func (d *Dataset) NumObservations() int { return len(d.Observations) }
+
+// ObjectObservations returns the observations for object o (sorted by
+// source). The returned slice aliases internal storage; do not modify.
+func (d *Dataset) ObjectObservations(o ObjectID) []Observation {
+	d.mustBeFrozen()
+	return d.byObject[o]
+}
+
+// SourceObservationIndices returns indices into Observations for the
+// observations made by source s.
+func (d *Dataset) SourceObservationIndices(s SourceID) []int {
+	d.mustBeFrozen()
+	return d.bySource[s]
+}
+
+// SourceObservationCount returns |Os|, the number of observations made
+// by source s.
+func (d *Dataset) SourceObservationCount(s SourceID) int {
+	d.mustBeFrozen()
+	return len(d.bySource[s])
+}
+
+// Domain returns Do, the sorted distinct values sources assigned to o.
+func (d *Dataset) Domain(o ObjectID) []ValueID {
+	d.mustBeFrozen()
+	return d.domain[o]
+}
+
+// Density returns the fraction of (source, object) pairs with an
+// observation: |Ω| / (|S|·|O|), the quantity the paper calls density p.
+func (d *Dataset) Density() float64 {
+	n := d.NumSources() * d.NumObjects()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(d.Observations)) / float64(n)
+}
+
+// AvgObservationsPerObject returns |Ω|/|O|.
+func (d *Dataset) AvgObservationsPerObject() float64 {
+	if d.NumObjects() == 0 {
+		return 0
+	}
+	return float64(len(d.Observations)) / float64(d.NumObjects())
+}
+
+// AvgObservationsPerSource returns |Ω|/|S|.
+func (d *Dataset) AvgObservationsPerSource() float64 {
+	if d.NumSources() == 0 {
+		return 0
+	}
+	return float64(len(d.Observations)) / float64(d.NumSources())
+}
+
+// TrueSourceAccuracies computes each source's empirical accuracy against
+// the supplied gold labels: the fraction of its observations on labeled
+// objects that match the label. Sources with no labeled observations get
+// the overall mean. This is the "true accuracy A*_s" used for the
+// source-error metric in Section 5.1.
+func (d *Dataset) TrueSourceAccuracies(gold TruthMap) []float64 {
+	d.mustBeFrozen()
+	correct := make([]int, d.NumSources())
+	total := make([]int, d.NumSources())
+	for _, ob := range d.Observations {
+		truth, ok := gold[ob.Object]
+		if !ok {
+			continue
+		}
+		total[ob.Source]++
+		if ob.Value == truth {
+			correct[ob.Source]++
+		}
+	}
+	acc := make([]float64, d.NumSources())
+	var sum float64
+	var n int
+	for s := range acc {
+		if total[s] > 0 {
+			acc[s] = float64(correct[s]) / float64(total[s])
+			sum += acc[s]
+			n++
+		} else {
+			acc[s] = -1 // fill below
+		}
+	}
+	mean := 0.5
+	if n > 0 {
+		mean = sum / float64(n)
+	}
+	for s := range acc {
+		if acc[s] < 0 {
+			acc[s] = mean
+		}
+	}
+	return acc
+}
+
+// AvgSourceAccuracy returns the unweighted mean of TrueSourceAccuracies
+// over sources that have at least one labeled observation.
+func (d *Dataset) AvgSourceAccuracy(gold TruthMap) float64 {
+	d.mustBeFrozen()
+	var sum float64
+	var n int
+	correct := make([]int, d.NumSources())
+	total := make([]int, d.NumSources())
+	for _, ob := range d.Observations {
+		truth, ok := gold[ob.Object]
+		if !ok {
+			continue
+		}
+		total[ob.Source]++
+		if ob.Value == truth {
+			correct[ob.Source]++
+		}
+	}
+	for s := range total {
+		if total[s] > 0 {
+			sum += float64(correct[s]) / float64(total[s])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0.5
+	}
+	return sum / float64(n)
+}
+
+func (d *Dataset) mustBeFrozen() {
+	if !d.frozen {
+		panic("data: Dataset used before Freeze")
+	}
+}
+
+// Validate checks internal consistency and returns a descriptive error
+// for the first violation found. A frozen Builder output always
+// validates; this exists for datasets decoded from external files.
+func (d *Dataset) Validate() error {
+	if !d.frozen {
+		return fmt.Errorf("dataset %q not frozen", d.Name)
+	}
+	for i, ob := range d.Observations {
+		if ob.Source < 0 || int(ob.Source) >= d.NumSources() {
+			return fmt.Errorf("observation %d: source %d out of range [0,%d)", i, ob.Source, d.NumSources())
+		}
+		if ob.Object < 0 || int(ob.Object) >= d.NumObjects() {
+			return fmt.Errorf("observation %d: object %d out of range [0,%d)", i, ob.Object, d.NumObjects())
+		}
+		if ob.Value < 0 || int(ob.Value) >= d.NumValues() {
+			return fmt.Errorf("observation %d: value %d out of range [0,%d)", i, ob.Value, d.NumValues())
+		}
+	}
+	if len(d.SourceFeatures) != d.NumSources() {
+		return fmt.Errorf("SourceFeatures has %d entries, want %d", len(d.SourceFeatures), d.NumSources())
+	}
+	for s, fs := range d.SourceFeatures {
+		for _, f := range fs {
+			if f < 0 || int(f) >= d.NumFeatures() {
+				return fmt.Errorf("source %d: feature %d out of range [0,%d)", s, f, d.NumFeatures())
+			}
+		}
+	}
+	return nil
+}
+
+// Builder incrementally constructs a Dataset, interning external string
+// identifiers to dense ids.
+type Builder struct {
+	name     string
+	sources  map[string]SourceID
+	objects  map[string]ObjectID
+	values   map[string]ValueID
+	features map[string]FeatureID
+	ds       *Dataset
+	// seen deduplicates (source, object) pairs: single-truth semantics
+	// mean a source asserts one value per object; later assertions for
+	// the same pair replace earlier ones.
+	seen map[[2]int]int
+}
+
+// NewBuilder returns a Builder for a dataset with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		sources:  map[string]SourceID{},
+		objects:  map[string]ObjectID{},
+		values:   map[string]ValueID{},
+		features: map[string]FeatureID{},
+		ds:       &Dataset{Name: name},
+		seen:     map[[2]int]int{},
+	}
+}
+
+// Source interns (or looks up) a source by name.
+func (b *Builder) Source(name string) SourceID {
+	if id, ok := b.sources[name]; ok {
+		return id
+	}
+	id := SourceID(len(b.ds.SourceNames))
+	b.sources[name] = id
+	b.ds.SourceNames = append(b.ds.SourceNames, name)
+	b.ds.SourceFeatures = append(b.ds.SourceFeatures, nil)
+	return id
+}
+
+// Object interns (or looks up) an object by name.
+func (b *Builder) Object(name string) ObjectID {
+	if id, ok := b.objects[name]; ok {
+		return id
+	}
+	id := ObjectID(len(b.ds.ObjectNames))
+	b.objects[name] = id
+	b.ds.ObjectNames = append(b.ds.ObjectNames, name)
+	return id
+}
+
+// Value interns (or looks up) a value by name.
+func (b *Builder) Value(name string) ValueID {
+	if id, ok := b.values[name]; ok {
+		return id
+	}
+	id := ValueID(len(b.ds.ValueNames))
+	b.values[name] = id
+	b.ds.ValueNames = append(b.ds.ValueNames, name)
+	return id
+}
+
+// Feature interns (or looks up) a Boolean feature value by label.
+func (b *Builder) Feature(label string) FeatureID {
+	if id, ok := b.features[label]; ok {
+		return id
+	}
+	id := FeatureID(len(b.ds.FeatureNames))
+	b.features[label] = id
+	b.ds.FeatureNames = append(b.ds.FeatureNames, label)
+	return id
+}
+
+// Observe records that source s assigns value v to object o. A repeated
+// (s, o) pair overwrites the previous value (single-truth semantics).
+func (b *Builder) Observe(s SourceID, o ObjectID, v ValueID) {
+	key := [2]int{int(s), int(o)}
+	if idx, ok := b.seen[key]; ok {
+		b.ds.Observations[idx].Value = v
+		return
+	}
+	b.seen[key] = len(b.ds.Observations)
+	b.ds.Observations = append(b.ds.Observations, Observation{Source: s, Object: o, Value: v})
+}
+
+// ObserveNames is the string-identifier convenience form of Observe.
+func (b *Builder) ObserveNames(source, object, value string) {
+	b.Observe(b.Source(source), b.Object(object), b.Value(value))
+}
+
+// SetFeature marks the Boolean feature with the given label active for
+// source s. Setting the same feature twice is a no-op.
+func (b *Builder) SetFeature(s SourceID, label string) {
+	f := b.Feature(label)
+	for _, existing := range b.ds.SourceFeatures[s] {
+		if existing == f {
+			return
+		}
+	}
+	b.ds.SourceFeatures[s] = append(b.ds.SourceFeatures[s], f)
+}
+
+// Freeze finalizes the dataset: sorts observations, builds the
+// per-object and per-source indexes and the value domains, and returns
+// the immutable Dataset. The Builder must not be used afterwards.
+func (b *Builder) Freeze() *Dataset {
+	d := b.ds
+	sort.Slice(d.Observations, func(i, j int) bool {
+		if d.Observations[i].Object != d.Observations[j].Object {
+			return d.Observations[i].Object < d.Observations[j].Object
+		}
+		return d.Observations[i].Source < d.Observations[j].Source
+	})
+	d.byObject = make([][]Observation, d.NumObjects())
+	d.bySource = make([][]int, d.NumSources())
+	d.domain = make([][]ValueID, d.NumObjects())
+	start := 0
+	for i := 1; i <= len(d.Observations); i++ {
+		if i == len(d.Observations) || d.Observations[i].Object != d.Observations[start].Object {
+			o := d.Observations[start].Object
+			d.byObject[o] = d.Observations[start:i]
+			start = i
+		}
+	}
+	for i, ob := range d.Observations {
+		d.bySource[ob.Source] = append(d.bySource[ob.Source], i)
+	}
+	for o := range d.domain {
+		seen := map[ValueID]bool{}
+		for _, ob := range d.byObject[o] {
+			seen[ob.Value] = true
+		}
+		dom := make([]ValueID, 0, len(seen))
+		for v := range seen {
+			dom = append(dom, v)
+		}
+		sort.Slice(dom, func(i, j int) bool { return dom[i] < dom[j] })
+		d.domain[ObjectID(o)] = dom
+	}
+	for s := range d.SourceFeatures {
+		fs := d.SourceFeatures[s]
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	}
+	d.frozen = true
+	b.ds = nil
+	return d
+}
+
+// Stats summarizes a dataset the way Table 1 of the paper does.
+type Stats struct {
+	Name             string
+	Sources          int
+	Objects          int
+	Observations     int
+	FeatureValues    int
+	Density          float64
+	AvgObsPerObject  float64
+	AvgObsPerSource  float64
+	AvgSrcAccuracy   float64 // -1 when gold is nil
+	GroundTruthAvail float64 // fraction of objects with gold labels
+}
+
+// ComputeStats derives Table 1-style statistics; gold may be nil.
+func ComputeStats(d *Dataset, gold TruthMap) Stats {
+	st := Stats{
+		Name:            d.Name,
+		Sources:         d.NumSources(),
+		Objects:         d.NumObjects(),
+		Observations:    d.NumObservations(),
+		FeatureValues:   d.NumFeatures(),
+		Density:         d.Density(),
+		AvgObsPerObject: d.AvgObservationsPerObject(),
+		AvgObsPerSource: d.AvgObservationsPerSource(),
+		AvgSrcAccuracy:  -1,
+	}
+	if gold != nil {
+		st.AvgSrcAccuracy = d.AvgSourceAccuracy(gold)
+		if d.NumObjects() > 0 {
+			st.GroundTruthAvail = float64(len(gold)) / float64(d.NumObjects())
+		}
+	}
+	return st
+}

@@ -1,0 +1,207 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"slimfast/internal/randx"
+)
+
+// buildFromPattern constructs a dataset from an arbitrary byte pattern;
+// testing/quick uses this to explore many shapes.
+func buildFromPattern(pattern []byte) *Dataset {
+	b := NewBuilder("prop")
+	if len(pattern) == 0 {
+		pattern = []byte{0}
+	}
+	for i, by := range pattern {
+		s := fmt.Sprintf("s%d", int(by)%7)
+		o := fmt.Sprintf("o%d", (int(by)/7+i)%11)
+		v := fmt.Sprintf("v%d", int(by)%3)
+		b.ObserveNames(s, o, v)
+		if by%5 == 0 {
+			b.SetFeature(b.Source(s), fmt.Sprintf("f%d", by%4))
+		}
+	}
+	return b.Freeze()
+}
+
+// TestQuickFreezeInvariants: any built dataset validates, its indexes
+// are consistent, and every observation appears in exactly one
+// per-object bucket and one per-source bucket.
+func TestQuickFreezeInvariants(t *testing.T) {
+	f := func(pattern []byte) bool {
+		d := buildFromPattern(pattern)
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		// Per-object buckets partition the observations.
+		count := 0
+		for o := 0; o < d.NumObjects(); o++ {
+			obs := d.ObjectObservations(ObjectID(o))
+			count += len(obs)
+			for _, ob := range obs {
+				if ob.Object != ObjectID(o) {
+					return false
+				}
+			}
+			// Domain is exactly the distinct values observed, sorted.
+			seen := map[ValueID]bool{}
+			for _, ob := range obs {
+				seen[ob.Value] = true
+			}
+			dom := d.Domain(ObjectID(o))
+			if len(dom) != len(seen) {
+				return false
+			}
+			for i := 1; i < len(dom); i++ {
+				if dom[i] <= dom[i-1] {
+					return false
+				}
+			}
+		}
+		if count != d.NumObservations() {
+			return false
+		}
+		// Per-source index covers everything exactly once.
+		count = 0
+		for s := 0; s < d.NumSources(); s++ {
+			for _, i := range d.SourceObservationIndices(SourceID(s)) {
+				if d.Observations[i].Source != SourceID(s) {
+					return false
+				}
+				count++
+			}
+		}
+		return count == d.NumObservations()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoDuplicateSourceObjectPairs: single-truth semantics — a
+// source asserts at most one value per object.
+func TestQuickNoDuplicateSourceObjectPairs(t *testing.T) {
+	f := func(pattern []byte) bool {
+		d := buildFromPattern(pattern)
+		seen := map[[2]int]bool{}
+		for _, ob := range d.Observations {
+			k := [2]int{int(ob.Source), int(ob.Object)}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJSONRoundTripPreservesEverything: WriteJSON/ReadJSON is the
+// identity on observations, features and truth.
+func TestQuickJSONRoundTripPreservesEverything(t *testing.T) {
+	f := func(pattern []byte, truthByte uint8) bool {
+		d := buildFromPattern(pattern)
+		truth := TruthMap{}
+		if d.NumObjects() > 0 {
+			o := ObjectID(int(truthByte) % d.NumObjects())
+			if dom := d.Domain(o); len(dom) > 0 {
+				truth[o] = dom[0]
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, d, truth); err != nil {
+			return false
+		}
+		d2, truth2, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if d2.NumObservations() != d.NumObservations() ||
+			d2.NumSources() != d.NumSources() ||
+			d2.NumObjects() != d.NumObjects() ||
+			d2.NumFeatures() != d.NumFeatures() {
+			return false
+		}
+		for i := range d.Observations {
+			if d.Observations[i] != d2.Observations[i] {
+				return false
+			}
+		}
+		if len(truth) != len(truth2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitPartition: Split always partitions the gold labels.
+func TestQuickSplitPartition(t *testing.T) {
+	f := func(n uint8, fracByte uint8, seed int64) bool {
+		gold := TruthMap{}
+		for i := 0; i < int(n); i++ {
+			gold[ObjectID(i)] = ValueID(i % 3)
+		}
+		frac := float64(fracByte) / 255
+		train, test := Split(gold, frac, randx.New(seed))
+		if len(train)+len(test) != len(gold) {
+			return false
+		}
+		for o, v := range train {
+			if test[o] == v && func() bool { _, ok := test[o]; return ok }() {
+				return false
+			}
+			if gold[o] != v {
+				return false
+			}
+		}
+		for o, v := range test {
+			if gold[o] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRestrictSourcesSubset: restriction never invents
+// observations and preserves the object/value id spaces.
+func TestQuickRestrictSourcesSubset(t *testing.T) {
+	f := func(pattern []byte, keepMask uint8) bool {
+		d := buildFromPattern(pattern)
+		var keep []SourceID
+		for s := 0; s < d.NumSources(); s++ {
+			if keepMask&(1<<(s%8)) != 0 {
+				keep = append(keep, SourceID(s))
+			}
+		}
+		sub, mapping, err := RestrictSources(d, keep)
+		if err != nil {
+			return false
+		}
+		if sub.NumObjects() != d.NumObjects() || sub.NumValues() != d.NumValues() {
+			return false
+		}
+		if sub.NumObservations() > d.NumObservations() {
+			return false
+		}
+		if len(mapping) != sub.NumSources() {
+			return false
+		}
+		return sub.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

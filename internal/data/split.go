@@ -1,0 +1,105 @@
+package data
+
+import (
+	"fmt"
+
+	"slimfast/internal/randx"
+)
+
+// Split partitions gold labels into a training TruthMap covering
+// trainFrac of the labeled objects (chosen uniformly at random) and a
+// test TruthMap with the rest. This mirrors the paper's evaluation
+// protocol: TD% of objects are revealed as ground truth G and accuracy
+// is measured on the remaining objects.
+//
+// trainFrac is clamped to [0, 1]. At least one training example is kept
+// when trainFrac > 0 and gold is non-empty, matching the paper's
+// smallest setting (TD = 0.1%).
+func Split(gold TruthMap, trainFrac float64, rng *randx.RNG) (train, test TruthMap) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	objects := make([]ObjectID, 0, len(gold))
+	for o := range gold {
+		objects = append(objects, o)
+	}
+	// Map iteration order is nondeterministic; sort for reproducibility.
+	sortObjectIDs(objects)
+	rng.Shuffle(len(objects), func(i, j int) { objects[i], objects[j] = objects[j], objects[i] })
+
+	nTrain := int(trainFrac * float64(len(objects)))
+	if nTrain == 0 && trainFrac > 0 && len(objects) > 0 {
+		nTrain = 1
+	}
+	train = make(TruthMap, nTrain)
+	test = make(TruthMap, len(objects)-nTrain)
+	for i, o := range objects {
+		if i < nTrain {
+			train[o] = gold[o]
+		} else {
+			test[o] = gold[o]
+		}
+	}
+	return train, test
+}
+
+func sortObjectIDs(objects []ObjectID) {
+	// Insertion-free sort via simple slice sort; ObjectIDs are ints.
+	for i := 1; i < len(objects); i++ {
+		for j := i; j > 0 && objects[j] < objects[j-1]; j-- {
+			objects[j], objects[j-1] = objects[j-1], objects[j]
+		}
+	}
+}
+
+// RestrictSources returns a new dataset containing only the sources
+// whose ids appear in keep (re-interned to dense ids), along with a
+// mapping from new SourceID to old SourceID. Objects that lose all
+// observations remain in the dataset with an empty domain. This supports
+// the source-quality-initialization experiment (Figure 7), which trains
+// on a subset of sources and predicts accuracies for the rest.
+func RestrictSources(d *Dataset, keep []SourceID) (*Dataset, []SourceID, error) {
+	inKeep := make(map[SourceID]bool, len(keep))
+	for _, s := range keep {
+		if s < 0 || int(s) >= d.NumSources() {
+			return nil, nil, fmt.Errorf("data: RestrictSources: source %d out of range", s)
+		}
+		inKeep[s] = true
+	}
+	b := NewBuilder(d.Name + "/restricted")
+	// Preserve object and value interning order so ObjectIDs and
+	// ValueIDs remain comparable across the restriction.
+	for _, name := range d.ObjectNames {
+		b.Object(name)
+	}
+	for _, name := range d.ValueNames {
+		b.Value(name)
+	}
+	// Preserve the feature id space too.
+	for _, name := range d.FeatureNames {
+		b.Feature(name)
+	}
+	var mapping []SourceID
+	for s := 0; s < d.NumSources(); s++ {
+		sid := SourceID(s)
+		if !inKeep[sid] {
+			continue
+		}
+		ns := b.Source(d.SourceNames[s])
+		mapping = append(mapping, sid)
+		for _, f := range d.SourceFeatures[s] {
+			b.SetFeature(ns, d.FeatureNames[f])
+		}
+	}
+	for _, ob := range d.Observations {
+		if !inKeep[ob.Source] {
+			continue
+		}
+		ns := b.Source(d.SourceNames[ob.Source])
+		b.Observe(ns, ob.Object, ob.Value)
+	}
+	return b.Freeze(), mapping, nil
+}

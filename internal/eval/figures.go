@@ -1,0 +1,446 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"slimfast/internal/core"
+	"slimfast/internal/data"
+	"slimfast/internal/lasso"
+	"slimfast/internal/metrics"
+	"slimfast/internal/randx"
+	"slimfast/internal/synth"
+)
+
+// RunFigure4a reproduces Figure 4(a): Sources-EM vs Sources-ERM on the
+// Example 6 synthetic instance (avg accuracy 0.7, density 0.01) as the
+// training fraction grows.
+func RunFigure4a(w io.Writer, cfg Config) error {
+	fracs := []float64{0.01, 0.10, 0.20, 0.40, 0.60}
+	if cfg.Quick {
+		fracs = []float64{0.01, 0.20, 0.60}
+	}
+	fmt.Fprintln(w, "Avg. Src. Accuracy = 0.7, Density = 0.01")
+	fmt.Fprintln(w, "TD(%)\tEM\tERM")
+	inst, err := cfg.Example6Instance(0.7, 0.01, cfg.DataSeed)
+	if err != nil {
+		return err
+	}
+	for _, frac := range fracs {
+		em, err := RunAveraged(NewSourcesEM(), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		erm, err := RunAveraged(NewSourcesERM(), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.0f\t%.3f\t%.3f\n", frac*100, em.ObjAccuracy, erm.ObjAccuracy)
+	}
+	return nil
+}
+
+// RunFigure4b reproduces Figure 4(b): varying density with the amount
+// of training information fixed at ~400 labeled source observations
+// (so the number of labeled objects shrinks as density grows).
+func RunFigure4b(w io.Writer, cfg Config) error {
+	densities := []float64{0.005, 0.010, 0.015, 0.020}
+	if cfg.Quick {
+		densities = []float64{0.005, 0.020}
+	}
+	fmt.Fprintln(w, "Avg. Acc = 0.6, Training Data = 400 source observations")
+	fmt.Fprintln(w, "Density\tEM\tERM")
+	for i, density := range densities {
+		inst, err := cfg.Example6Instance(0.6, density, cfg.DataSeed+int64(i))
+		if err != nil {
+			return err
+		}
+		nObj := inst.Dataset.NumObjects()
+		obsPerObj := inst.Dataset.AvgObservationsPerObject()
+		frac := 400 / obsPerObj / float64(nObj)
+		em, err := RunAveraged(NewSourcesEM(), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		erm, err := RunAveraged(NewSourcesERM(), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.3f\t%.3f\t%.3f\n", density, em.ObjAccuracy, erm.ObjAccuracy)
+	}
+	return nil
+}
+
+// RunFigure4c reproduces Figure 4(c): varying average source accuracy
+// at density 0.005 with training fixed at ~250 source observations
+// (5% of objects in the paper's 1000×1000 setup).
+func RunFigure4c(w io.Writer, cfg Config) error {
+	accs := []float64{0.5, 0.6, 0.7, 0.8}
+	if cfg.Quick {
+		accs = []float64{0.5, 0.8}
+	}
+	fmt.Fprintln(w, "Density = 0.005, Training Data = 250 source observations")
+	fmt.Fprintln(w, "AvgAcc\tEM\tERM")
+	for i, acc := range accs {
+		inst, err := cfg.Example6Instance(acc, 0.005, cfg.DataSeed+int64(i))
+		if err != nil {
+			return err
+		}
+		nObj := inst.Dataset.NumObjects()
+		obsPerObj := inst.Dataset.AvgObservationsPerObject()
+		frac := 250 / obsPerObj / float64(nObj)
+		em, err := RunAveraged(NewSourcesEM(), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		erm, err := RunAveraged(NewSourcesERM(), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.2f\t%.3f\t%.3f\n", acc, em.ObjAccuracy, erm.ObjAccuracy)
+	}
+	return nil
+}
+
+// RunFigure5 prints the ERM/EM tradeoff grid of Figures 2 and 5: for
+// each (training data, accuracy, density) cell, which algorithm wins
+// empirically and what the optimizer picks.
+func RunFigure5(w io.Writer, cfg Config) error {
+	type level struct {
+		label string
+		v     float64
+	}
+	trains := []level{{"low", 0.01}, {"high", 0.30}}
+	accs := []level{{"low", 0.55}, {"high", 0.80}}
+	densities := []level{{"low", 0.005}, {"high", 0.02}}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Train\tAccuracy\tDensity\tEM acc\tERM acc\tWinner\tOptimizer")
+	i := int64(0)
+	for _, tr := range trains {
+		for _, ac := range accs {
+			for _, de := range densities {
+				i++
+				inst, err := cfg.Example6Instance(ac.v, de.v, cfg.DataSeed+i)
+				if err != nil {
+					return err
+				}
+				em, err := RunAveraged(NewSourcesEM(), inst, tr.v, cfg.Seeds)
+				if err != nil {
+					return err
+				}
+				erm, err := RunAveraged(NewSourcesERM(), inst, tr.v, cfg.Seeds)
+				if err != nil {
+					return err
+				}
+				winner := "ERM"
+				if em.ObjAccuracy > erm.ObjAccuracy {
+					winner = "EM"
+				}
+				splitSeed := randx.DeriveSeed(cfg.Seeds[0], fmt.Sprintf("split:%v", tr.v))
+				train, _ := data.Split(inst.Gold, tr.v, randx.New(splitSeed))
+				dec := core.Decide(inst.Dataset, train, core.DefaultOptimizerOptions())
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.3f\t%s\t%s\n",
+					tr.label, ac.label, de.label, em.ObjAccuracy, erm.ObjAccuracy, winner, dec.Algorithm)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// runLassoFigure renders a Lasso path: activation order plus weight
+// trajectories of the earliest-activating features.
+func runLassoFigure(w io.Writer, cfg Config, dataset string, topN int) error {
+	inst, err := cfg.LoadDataset(dataset)
+	if err != nil {
+		return err
+	}
+	opts := lasso.DefaultOptions()
+	if cfg.Quick {
+		opts.Steps = 8
+		opts.MaxIter = 150
+	}
+	p, err := lasso.Compute(inst.Dataset, inst.Gold, opts)
+	if err != nil {
+		return err
+	}
+	order := p.ActivationOrder(1e-6)
+	if topN > len(order) {
+		topN = len(order)
+	}
+	fmt.Fprintf(w, "Lasso path on %s: first-activating features (most predictive of source accuracy)\n", dataset)
+	tw := newTab(w)
+	fmt.Fprint(tw, "Feature\tLatentW")
+	for _, i := range []int{0, len(p.Mu) / 2, len(p.Mu) - 1} {
+		fmt.Fprintf(tw, "\tw@mu=%.2f", p.Mu[i])
+	}
+	fmt.Fprintln(tw)
+	for _, k := range order[:topN] {
+		name := p.FeatureNames[k]
+		fmt.Fprintf(tw, "%s\t%.2f", name, inst.TrueFeatureWeights[name])
+		for _, i := range []int{0, len(p.Mu) / 2, len(p.Mu) - 1} {
+			fmt.Fprintf(tw, "\t%.3f", p.Weights[i][k])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RunFigure6 reproduces Figure 6: the Lasso path over the Stocks
+// traffic-statistics features.
+func RunFigure6(w io.Writer, cfg Config) error {
+	return runLassoFigure(w, cfg, "stocks", 14)
+}
+
+// RunFigure9 reproduces Figure 9: the Lasso path over the Crowd
+// worker features.
+func RunFigure9(w io.Writer, cfg Config) error {
+	return runLassoFigure(w, cfg, "crowd", 10)
+}
+
+// RunFigure7 reproduces Figure 7: predict the accuracy of sources
+// never seen in training from their domain features alone, varying the
+// fraction of sources available for training.
+func RunFigure7(w io.Writer, cfg Config) error {
+	names := []string{"stocks", "demos", "crowd"}
+	if cfg.Quick {
+		names = []string{"stocks", "crowd"}
+	}
+	pcts := []float64{0.25, 0.40, 0.50, 0.75}
+	tw := newTab(w)
+	fmt.Fprint(tw, "Dataset")
+	for _, p := range pcts {
+		fmt.Fprintf(tw, "\t%.0f%% used", p*100)
+	}
+	fmt.Fprintln(tw, "\t(mean abs error on unseen sources)")
+	for _, name := range names {
+		inst, err := cfg.LoadDataset(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s", name)
+		for pi, pct := range pcts {
+			errSum, n := 0.0, 0
+			for _, seed := range cfg.Seeds {
+				e, err := unseenSourceError(inst, pct, randx.DeriveSeed(seed, fmt.Sprintf("fig7:%d", pi)))
+				if err != nil {
+					return err
+				}
+				errSum += e
+				n++
+			}
+			fmt.Fprintf(tw, "\t%.3f", errSum/float64(n))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// unseenSourceError trains on a random pct of sources and measures the
+// mean absolute error of feature-only accuracy predictions on the
+// held-out sources.
+func unseenSourceError(inst *synth.Instance, pct float64, seed int64) (float64, error) {
+	rng := randx.New(seed)
+	nS := inst.Dataset.NumSources()
+	nKeep := int(pct * float64(nS))
+	if nKeep < 2 {
+		nKeep = 2
+	}
+	perm := rng.Shuffled(nS)
+	keep := make([]data.SourceID, nKeep)
+	for i := 0; i < nKeep; i++ {
+		keep[i] = data.SourceID(perm[i])
+	}
+	sub, _, err := data.RestrictSources(inst.Dataset, keep)
+	if err != nil {
+		return 0, err
+	}
+	// Gold labels restricted to objects that still have observations.
+	train := data.TruthMap{}
+	for o, v := range inst.Gold {
+		if len(sub.Domain(o)) > 0 {
+			train[o] = v
+		}
+	}
+	method := NewSLiMFastERM()
+	model, err := method.Model(sub, train)
+	if err != nil {
+		return 0, err
+	}
+	trueAcc := inst.Dataset.TrueSourceAccuracies(inst.Gold)
+	var errSum float64
+	var n int
+	for i := nKeep; i < nS; i++ {
+		s := data.SourceID(perm[i])
+		labels := make([]string, 0, len(inst.Dataset.SourceFeatures[s]))
+		for _, k := range inst.Dataset.SourceFeatures[s] {
+			labels = append(labels, inst.Dataset.FeatureNames[k])
+		}
+		pred := model.PredictAccuracy(labels)
+		errSum += math.Abs(pred - trueAcc[s])
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return errSum / float64(n), nil
+}
+
+// RunFigure8 reproduces Figure 8 (Appendix D): fusing Demos with and
+// without the pairwise copying features, plus the highest-weight
+// copier pairs found.
+func RunFigure8(w io.Writer, cfg Config) error {
+	inst, err := cfg.LoadDataset("demos")
+	if err != nil {
+		return err
+	}
+	minOverlap := 8
+	fracs := []float64{0.01, 0.05, 0.10, 0.20}
+	if cfg.Quick {
+		fracs = []float64{0.05, 0.20}
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "TD(%)\tw/o Copying\tw. Copying")
+	for _, frac := range fracs {
+		plain, err := RunAveraged(NewSourcesERM(), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		copying, err := RunAveraged(NewSLiMFastCopying(minOverlap), inst, frac, cfg.Seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%.0f\t%.3f\t%.3f\n", frac*100, plain.ObjAccuracy, copying.ObjAccuracy)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Highest-weight copy pairs vs the planted ones.
+	method := NewSLiMFastCopying(minOverlap)
+	splitSeed := randx.DeriveSeed(cfg.Seeds[0], "fig8")
+	train, _ := data.Split(inst.Gold, 0.20, randx.New(splitSeed))
+	model, err := method.Model(inst.Dataset, train)
+	if err != nil {
+		return err
+	}
+	planted := inst.CorrelatedPairs()
+	type pairW struct {
+		a, b    data.SourceID
+		weight  float64
+		planted bool
+	}
+	var pairs []pairW
+	for p := 0; p < model.NumCopyPairs(); p++ {
+		a, b, wt := model.CopyPair(p)
+		pairs = append(pairs, pairW{a, b, wt, planted[[2]data.SourceID{a, b}]})
+	}
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			if pairs[j].weight > pairs[i].weight {
+				pairs[i], pairs[j] = pairs[j], pairs[i]
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nTop copying-feature weights (planted copier pairs marked *):")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "Source1\tSource2\tWeight\tPlanted")
+	top := 8
+	if top > len(pairs) {
+		top = len(pairs)
+	}
+	for _, pr := range pairs[:top] {
+		mark := ""
+		if pr.planted {
+			mark = "*"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%s\n",
+			inst.Dataset.SourceNames[pr.a], inst.Dataset.SourceNames[pr.b], pr.weight, mark)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	var plantedSum, indepSum float64
+	var plantedN, indepN int
+	for _, pr := range pairs {
+		if pr.planted {
+			plantedSum += pr.weight
+			plantedN++
+		} else {
+			indepSum += pr.weight
+			indepN++
+		}
+	}
+	if plantedN > 0 && indepN > 0 {
+		fmt.Fprintf(w, "mean copy weight: planted %.3f vs independent %.3f (%d vs %d pairs)\n",
+			plantedSum/float64(plantedN), indepSum/float64(indepN), plantedN, indepN)
+	}
+	return nil
+}
+
+// RunTheory validates the scaling shapes of Theorems 1-3:
+//
+//   - Theorems 1/2: ERM's source-accuracy loss falls like √(|K|/|G|)
+//     — error·√|G| should stay roughly flat as |G| grows.
+//   - Theorem 3: EM's mean KL divergence falls with density p and with
+//     the accuracy margin δ.
+func RunTheory(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "Theorem 1/2 shape: ERM source error vs |G| (error·sqrt(G) ~ flat)")
+	inst, err := cfg.Example6Instance(0.7, 0.02, cfg.DataSeed)
+	if err != nil {
+		return err
+	}
+	trueAcc := inst.Dataset.TrueSourceAccuracies(inst.Gold)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "|G|\tSourceErr\tErr*sqrt(G)")
+	gs := []int{50, 200, 800}
+	if cfg.Quick {
+		gs = []int{40, 160}
+	}
+	nObj := inst.Dataset.NumObjects()
+	for _, g := range gs {
+		frac := float64(g) / float64(nObj)
+		method := NewSourcesERM()
+		var errs []float64
+		for _, seed := range cfg.Seeds {
+			tr, err := RunTrial(method, inst, frac, seed)
+			if err != nil {
+				return err
+			}
+			errs = append(errs, tr.SourceError)
+		}
+		e := metrics.Mean(errs)
+		fmt.Fprintf(tw, "%d\t%.4f\t%.3f\n", g, e, e*math.Sqrt(float64(g)))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_ = trueAcc
+
+	fmt.Fprintln(w, "\nTheorem 3 shape: unsupervised EM mean KL vs density and accuracy margin")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "AvgAcc\tDensity\tMeanKL")
+	cells := []struct{ acc, den float64 }{
+		{0.6, 0.01}, {0.6, 0.04}, {0.8, 0.01}, {0.8, 0.04},
+	}
+	if cfg.Quick {
+		cells = cells[1:3]
+	}
+	for i, c := range cells {
+		inst, err := cfg.Example6Instance(c.acc, c.den, cfg.DataSeed+100+int64(i))
+		if err != nil {
+			return err
+		}
+		m, err := core.Compile(inst.Dataset, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if _, err := m.FitEM(nil); err != nil {
+			return err
+		}
+		est := m.SourceAccuracies()
+		kl := metrics.MeanKL(est, inst.Dataset.TrueSourceAccuracies(inst.Gold))
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.4f\n", c.acc, c.den, kl)
+	}
+	return tw.Flush()
+}

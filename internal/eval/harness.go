@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slimfast/internal/baselines"
+	"slimfast/internal/data"
+	"slimfast/internal/metrics"
+	"slimfast/internal/randx"
+	"slimfast/internal/synth"
+)
+
+// Trial is one (method, instance, training-fraction, seed) run with its
+// measured quality and cost.
+type Trial struct {
+	Method      string
+	Dataset     string
+	TrainFrac   float64
+	Seed        int64
+	ObjAccuracy float64
+	// SourceError is the paper's weighted absolute accuracy error;
+	// NaN-free: -1 when the method has no probabilistic accuracies.
+	SourceError float64
+	Runtime     time.Duration
+	// Decision is "erm"/"em" for the auto variant, "" otherwise.
+	Decision string
+}
+
+// RunTrial splits the instance's gold labels (trainFrac into training,
+// the rest into test), runs the method, and scores it. The split seed
+// is derived from the base seed, the method and the fraction so that
+// all methods at the same (fraction, seed) see the same split — the
+// paper's protocol.
+func RunTrial(m baselines.Method, inst *synth.Instance, trainFrac float64, seed int64) (Trial, error) {
+	splitSeed := randx.DeriveSeed(seed, fmt.Sprintf("split:%v", trainFrac))
+	train, test := data.Split(inst.Gold, trainFrac, randx.New(splitSeed))
+	t := Trial{
+		Method:      m.Name(),
+		Dataset:     inst.Dataset.Name,
+		TrainFrac:   trainFrac,
+		Seed:        seed,
+		SourceError: -1,
+	}
+	start := time.Now()
+	out, err := m.Fuse(inst.Dataset, train)
+	t.Runtime = time.Since(start)
+	if err != nil {
+		return t, fmt.Errorf("eval: %s on %s: %w", m.Name(), inst.Dataset.Name, err)
+	}
+	t.ObjAccuracy = metrics.ObjectAccuracy(out.Values, test)
+	if m.HasProbabilisticAccuracies() && out.SourceAccuracies != nil {
+		trueAcc := inst.Dataset.TrueSourceAccuracies(inst.Gold)
+		t.SourceError = metrics.SourceAccuracyError(inst.Dataset, out.SourceAccuracies, trueAcc)
+	}
+	if sf, ok := m.(*SLiMFast); ok && sf.mode == ModeAuto {
+		t.Decision = sf.LastDecision.Algorithm.String()
+	}
+	return t, nil
+}
+
+// RunAveraged repeats RunTrial over the seeds and returns the mean
+// trial (accuracy, source error and runtime averaged; the decision of
+// the first seed is kept).
+func RunAveraged(m baselines.Method, inst *synth.Instance, trainFrac float64, seeds []int64) (Trial, error) {
+	if len(seeds) == 0 {
+		return Trial{}, fmt.Errorf("eval: no seeds")
+	}
+	var accs, errs []float64
+	var total time.Duration
+	var first Trial
+	for i, seed := range seeds {
+		tr, err := RunTrial(m, inst, trainFrac, seed)
+		if err != nil {
+			return tr, err
+		}
+		if i == 0 {
+			first = tr
+		}
+		accs = append(accs, tr.ObjAccuracy)
+		if tr.SourceError >= 0 {
+			errs = append(errs, tr.SourceError)
+		}
+		total += tr.Runtime
+	}
+	first.ObjAccuracy = metrics.Mean(accs)
+	if len(errs) > 0 {
+		first.SourceError = metrics.Mean(errs)
+	}
+	first.Runtime = total / time.Duration(len(seeds))
+	return first, nil
+}
+
+// Config controls how heavy the experiment runs are. Quick mode shrinks
+// the synthetic instances and seed counts so the full suite finishes in
+// test/bench time; Full mode matches the paper's scale.
+type Config struct {
+	// Seeds per configuration (the paper averages 5 random splits).
+	Seeds []int64
+	// Quick shrinks Example 6's 1000×1000 instances and skips the
+	// slowest dataset/TD combinations.
+	Quick bool
+	// DataSeed seeds dataset generation.
+	DataSeed int64
+}
+
+// DefaultConfig is used by cmd/experiments (3 seeds keeps the full
+// suite minutes-scale while averaging out split noise).
+func DefaultConfig() Config {
+	return Config{Seeds: []int64{1, 2, 3}, DataSeed: 42}
+}
+
+// QuickConfig is used by tests and benchmarks.
+func QuickConfig() Config {
+	return Config{Seeds: []int64{1}, Quick: true, DataSeed: 42}
+}
+
+// TrainFractions are the paper's training-data percentages (of
+// objects) for Tables 2–5.
+func (c Config) TrainFractions() []float64 {
+	if c.Quick {
+		return []float64{0.01, 0.10}
+	}
+	return []float64{0.001, 0.01, 0.05, 0.10, 0.20}
+}
+
+// DatasetNames returns the evaluation datasets, honouring Quick mode.
+func (c Config) DatasetNames() []string {
+	if c.Quick {
+		return []string{"stocks", "crowd"}
+	}
+	return synth.AllNames()
+}
+
+// datasetCache memoizes calibrated datasets across experiments within
+// one process: instances are immutable after generation, so sharing is
+// safe, and regenerating Genomics (16k features) per table is wasteful.
+var datasetCache sync.Map // key string -> *synth.Instance
+
+// LoadDataset builds (and caches) a calibrated dataset by name.
+func (c Config) LoadDataset(name string) (*synth.Instance, error) {
+	key := fmt.Sprintf("%s@%d", name, c.DataSeed)
+	if v, ok := datasetCache.Load(key); ok {
+		return v.(*synth.Instance), nil
+	}
+	inst, err := synth.NamedDataset(name, c.DataSeed)
+	if err != nil {
+		return nil, err
+	}
+	datasetCache.Store(key, inst)
+	return inst, nil
+}
+
+// Example6Instance builds the Figure 4 synthetic instance at the given
+// accuracy and density, honouring Quick mode's smaller scale.
+func (c Config) Example6Instance(avgAcc, density float64, seed int64) (*synth.Instance, error) {
+	if !c.Quick {
+		return synth.Example6(avgAcc, density, seed)
+	}
+	// Quick mode: 200×200 with density scaled ×5 to preserve the
+	// expected observations per object.
+	return synth.Generate(synth.Config{
+		Name: "example6-quick", Sources: 200, Objects: 200, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: density * 5,
+		MeanAccuracy: avgAcc, AccuracySD: 0.15,
+		MinAccuracy: 0.3, MaxAccuracy: 0.95,
+		EnsureTruthObserved: true, Seed: seed,
+	})
+}

@@ -1,0 +1,78 @@
+package factor
+
+import (
+	"errors"
+	"math"
+
+	"slimfast/internal/mathx"
+)
+
+// ExactMarginalsEnumerate computes marginals by brute-force enumeration
+// of the joint state space (latent variables only; evidence stays
+// pinned). It refuses graphs with more than maxStates joint states.
+// This is the validation oracle for the Gibbs sampler on graphs with
+// higher-arity factors, where ExactMarginalsSingleton does not apply.
+func (g *Graph) ExactMarginalsEnumerate(maxStates int) ([][]float64, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	n := len(g.card)
+	// Count joint states over latent variables.
+	states := 1
+	latent := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if g.evidence[v] >= 0 {
+			continue
+		}
+		latent = append(latent, v)
+		if states > maxStates/g.card[v] {
+			return nil, errors.New("factor: state space too large to enumerate")
+		}
+		states *= g.card[v]
+	}
+
+	assign := make([]int, n)
+	for v := 0; v < n; v++ {
+		if g.evidence[v] >= 0 {
+			assign[v] = g.evidence[v]
+		}
+	}
+	logp := make([]float64, states)
+	scratch := make([]int, 0, 8)
+	for st := 0; st < states; st++ {
+		// Decode the joint state.
+		rest := st
+		for _, v := range latent {
+			assign[v] = rest % g.card[v]
+			rest /= g.card[v]
+		}
+		var lp float64
+		for fi := range g.factors {
+			f := &g.factors[fi]
+			scratch = scratch[:0]
+			for _, fv := range f.Vars {
+				scratch = append(scratch, assign[fv])
+			}
+			lp += f.Weight * f.Potential(scratch)
+		}
+		logp[st] = lp
+	}
+	lse := mathx.LogSumExp(logp)
+
+	out := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = make([]float64, g.card[v])
+		if g.evidence[v] >= 0 {
+			out[v][g.evidence[v]] = 1
+		}
+	}
+	for st := 0; st < states; st++ {
+		p := math.Exp(logp[st] - lse)
+		rest := st
+		for _, v := range latent {
+			out[v][rest%g.card[v]] += p
+			rest /= g.card[v]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package factor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnumerateMatchesSingletonPath(t *testing.T) {
+	g := buildBiased(0.8)
+	singleton, err := g.ExactMarginalsSingleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := g.ExactMarginalsEnumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range singleton[0] {
+		if math.Abs(singleton[0][d]-enum[0][d]) > 1e-12 {
+			t.Errorf("value %d: singleton %v vs enum %v", d, singleton[0][d], enum[0][d])
+		}
+	}
+}
+
+func TestEnumerateRespectsEvidence(t *testing.T) {
+	var g Graph
+	v0 := g.AddVariable(2)
+	v1 := g.AddVariable(2)
+	agree := func(vals []int) float64 {
+		if vals[0] == vals[1] {
+			return 1
+		}
+		return 0
+	}
+	if err := g.AddFactor(Factor{Vars: []int{v0, v1}, Weight: 2, Potential: agree}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEvidence(v0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.ExactMarginalsEnumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[v0][1] != 1 {
+		t.Error("evidence not pinned in enumeration")
+	}
+	// P(v1=1 | v0=1) = logistic(2)
+	want := 1 / (1 + math.Exp(-2))
+	if math.Abs(m[v1][1]-want) > 1e-12 {
+		t.Errorf("P(v1=1) = %v, want %v", m[v1][1], want)
+	}
+}
+
+func TestEnumerateRefusesHugeGraphs(t *testing.T) {
+	var g Graph
+	for i := 0; i < 40; i++ {
+		g.AddVariable(3)
+	}
+	_ = g.AddFactor(Factor{Vars: []int{0}, Weight: 1, Potential: IndicatorEquals(0)})
+	if _, err := g.ExactMarginalsEnumerate(1000); err == nil {
+		t.Error("huge state space should be refused")
+	}
+}
+
+// TestQuickGibbsMatchesEnumeration: on random small pairwise graphs,
+// the Gibbs marginals agree with brute-force enumeration.
+func TestQuickGibbsMatchesEnumeration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling-heavy property test in -short mode")
+	}
+	f := func(w1, w2, w3 float64, ev uint8) bool {
+		clampW := func(x float64) float64 {
+			x = math.Mod(x, 3)
+			if math.IsNaN(x) {
+				return 0
+			}
+			return x
+		}
+		var g Graph
+		a := g.AddVariable(2)
+		b := g.AddVariable(3)
+		c := g.AddVariable(2)
+		agree01 := func(vals []int) float64 {
+			if vals[0] == vals[1]%2 {
+				return 1
+			}
+			return 0
+		}
+		if err := g.AddFactor(Factor{Vars: []int{a, b}, Weight: clampW(w1), Potential: agree01}); err != nil {
+			return false
+		}
+		if err := g.AddFactor(Factor{Vars: []int{b, c}, Weight: clampW(w2), Potential: agree01}); err != nil {
+			return false
+		}
+		if err := g.AddFactor(Factor{Vars: []int{a}, Weight: clampW(w3), Potential: IndicatorEquals(1)}); err != nil {
+			return false
+		}
+		if ev%3 == 0 {
+			if err := g.SetEvidence(c, int(ev)%2); err != nil {
+				return false
+			}
+		}
+		exact, err := g.ExactMarginalsEnumerate(0)
+		if err != nil {
+			return false
+		}
+		gibbs, err := g.Gibbs(GibbsConfig{Burnin: 300, Samples: 12000, Seed: int64(ev) + 1})
+		if err != nil {
+			return false
+		}
+		for v := range exact {
+			for d := range exact[v] {
+				if math.Abs(exact[v][d]-gibbs[v][d]) > 0.05 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package lasso
+
+import (
+	"math"
+	"testing"
+
+	"slimfast/internal/data"
+	"slimfast/internal/synth"
+)
+
+func lassoInstance(t *testing.T) *synth.Instance {
+	t.Helper()
+	inst, err := synth.Generate(synth.Config{
+		Name: "lasso", Sources: 120, Objects: 800, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.15,
+		MeanAccuracy: 0.68, AccuracySD: 0.15, MinAccuracy: 0.35, MaxAccuracy: 0.97,
+		Features: []synth.FeatureGroup{
+			{Name: "signal", Cardinality: 4, Informative: true, WeightScale: 2.5},
+			{Name: "noise", Cardinality: 4, Informative: false},
+		},
+		EnsureTruthObserved: true,
+		Seed:                81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestComputeValidation(t *testing.T) {
+	inst := lassoInstance(t)
+	if _, err := Compute(inst.Dataset, nil, DefaultOptions()); err == nil {
+		t.Error("no truth should error")
+	}
+	opts := DefaultOptions()
+	opts.Steps = 1
+	if _, err := Compute(inst.Dataset, inst.Gold, opts); err == nil {
+		t.Error("1 step should error")
+	}
+	// Dataset without features.
+	b := data.NewBuilder("nf")
+	b.ObserveNames("s", "o", "v")
+	d := b.Freeze()
+	if _, err := Compute(d, data.TruthMap{0: 0}, DefaultOptions()); err == nil {
+		t.Error("no features should error")
+	}
+}
+
+func TestPathShapeAndMonotonicity(t *testing.T) {
+	inst := lassoInstance(t)
+	opts := DefaultOptions()
+	opts.Steps = 12
+	p, err := Compute(inst.Dataset, inst.Gold, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Weights) != 12 || len(p.Lambdas) != 12 {
+		t.Fatalf("path has %d steps, want 12", len(p.Weights))
+	}
+	// Lambdas strictly descending.
+	for i := 1; i < len(p.Lambdas); i++ {
+		if p.Lambdas[i] >= p.Lambdas[i-1] {
+			t.Fatal("lambdas must descend")
+		}
+	}
+	// At the strongest penalty all feature weights are zero.
+	for k, w := range p.Weights[0] {
+		if w != 0 {
+			t.Errorf("feature %d nonzero at lambda_max: %v", k, w)
+		}
+	}
+	// Sparsity decreases (weakly) along the path.
+	nonzero := func(ws []float64) int {
+		n := 0
+		for _, w := range ws {
+			if w != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if nonzero(p.Weights[0]) > nonzero(p.FinalWeights()) {
+		t.Error("active set should grow as penalty relaxes")
+	}
+	if nonzero(p.FinalWeights()) == 0 {
+		t.Error("some features should activate at the weakest penalty")
+	}
+}
+
+func TestSignalFeaturesActivateBeforeNoise(t *testing.T) {
+	inst := lassoInstance(t)
+	opts := DefaultOptions()
+	opts.Steps = 16
+	p, err := Compute(inst.Dataset, inst.Gold, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := p.ActivationOrder(1e-6)
+	// Among the first half of activated features, signal buckets
+	// should dominate: the latent generator gave them real weights.
+	isSignal := func(k int) bool {
+		name := p.FeatureNames[k]
+		return len(name) >= 6 && name[:6] == "signal"
+	}
+	signalRankSum, noiseRankSum := 0, 0
+	for rank, k := range order {
+		if isSignal(k) {
+			signalRankSum += rank
+		} else {
+			noiseRankSum += rank
+		}
+	}
+	// 4 signal + 4 noise features: mean signal rank must be lower.
+	if signalRankSum >= noiseRankSum {
+		t.Errorf("signal features should activate earlier: signal rank sum %d vs noise %d",
+			signalRankSum, noiseRankSum)
+	}
+}
+
+func TestFinalWeightsCorrelateWithLatent(t *testing.T) {
+	inst := lassoInstance(t)
+	p, err := Compute(inst.Dataset, inst.Gold, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := p.FinalWeights()
+	// Pearson correlation between recovered and latent weights over
+	// the signal buckets should be clearly positive.
+	var xs, ys []float64
+	for k, name := range p.FeatureNames {
+		latent, ok := inst.TrueFeatureWeights[name]
+		if !ok {
+			continue
+		}
+		xs = append(xs, latent)
+		ys = append(ys, final[k])
+	}
+	if len(xs) < 4 {
+		t.Fatal("missing latent weights")
+	}
+	if r := pearson(xs, ys); r < 0.5 {
+		t.Errorf("recovered/latent weight correlation = %v, want >= 0.5", r)
+	}
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func TestActivationOrderNeverActivatedLast(t *testing.T) {
+	p := &Path{
+		FeatureNames: []string{"a", "b", "c"},
+		Weights: [][]float64{
+			{0, 0, 0},
+			{0.5, 0, 0},
+			{0.9, 0, 0.1},
+		},
+	}
+	order := p.ActivationOrder(1e-9)
+	if order[0] != 0 || order[1] != 2 || order[2] != 1 {
+		t.Errorf("order = %v, want [0 2 1]", order)
+	}
+}
+
+func TestDeterministicPath(t *testing.T) {
+	inst := lassoInstance(t)
+	opts := DefaultOptions()
+	opts.Steps = 6
+	p1, err := Compute(inst.Dataset, inst.Gold, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compute(inst.Dataset, inst.Gold, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Weights {
+		for k := range p1.Weights[i] {
+			if p1.Weights[i][k] != p2.Weights[i][k] {
+				t.Fatal("path must be deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package optim provides the first-order optimizers used to fit
+// SLiMFast's logistic-regression model: stochastic gradient descent
+// (the algorithm the paper runs on DeepDive's sampler), AdaGrad as an
+// ablation alternative, and a batch proximal-gradient loop used for the
+// L1-regularized Lasso-path experiments.
+//
+// The optimizers minimize an empirical objective of the form
+//
+//	F(w) = (1/n) Σ_i f_i(w) + (λ2/2)||w||² + λ1||w||₁
+//
+// given only per-example gradient callbacks, so they are agnostic to the
+// model structure.
+package optim
+
+import (
+	"errors"
+	"math"
+
+	"slimfast/internal/mathx"
+	"slimfast/internal/randx"
+)
+
+// Method selects the update rule.
+type Method int
+
+const (
+	// SGD is plain stochastic gradient descent with inverse-time decay.
+	SGD Method = iota
+	// AdaGrad scales each coordinate by the accumulated squared
+	// gradients.
+	AdaGrad
+)
+
+// Config controls an optimization run. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	Method       Method
+	Epochs       int     // maximum passes over the data
+	LearningRate float64 // initial step size
+	Decay        float64 // inverse-time decay: lr_t = lr / (1 + Decay·t)
+	L2           float64 // ridge penalty λ2
+	L1           float64 // lasso penalty λ1 (applied proximally)
+	Tolerance    float64 // early stop when max |Δw| over an epoch < Tolerance
+	Seed         int64   // shuffle seed, for reproducibility
+}
+
+// DefaultConfig returns the settings used throughout the reproduction:
+// they converge reliably on every dataset in the evaluation without
+// per-dataset tuning.
+func DefaultConfig() Config {
+	return Config{
+		Method:       SGD,
+		Epochs:       50,
+		LearningRate: 0.3,
+		Decay:        0.01,
+		Tolerance:    1e-4,
+		Seed:         1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Epochs <= 0 {
+		return errors.New("optim: Epochs must be positive")
+	}
+	if c.LearningRate <= 0 {
+		return errors.New("optim: LearningRate must be positive")
+	}
+	if c.L1 < 0 || c.L2 < 0 {
+		return errors.New("optim: penalties must be non-negative")
+	}
+	if c.Decay < 0 {
+		return errors.New("optim: Decay must be non-negative")
+	}
+	return nil
+}
+
+// Sparse accumulates a sparse gradient: per-example losses in data
+// fusion touch only the weights of the sources and features involved in
+// one object, so updates must not pay O(len(w)).
+type Sparse struct {
+	idx []int
+	val []float64
+	pos map[int]int
+}
+
+// NewSparse returns an empty accumulator.
+func NewSparse() *Sparse { return &Sparse{pos: map[int]int{}} }
+
+// Reset clears the accumulator for reuse.
+func (s *Sparse) Reset() {
+	s.idx = s.idx[:0]
+	s.val = s.val[:0]
+	for k := range s.pos {
+		delete(s.pos, k)
+	}
+}
+
+// Add accumulates v into coordinate j.
+func (s *Sparse) Add(j int, v float64) {
+	if p, ok := s.pos[j]; ok {
+		s.val[p] += v
+		return
+	}
+	s.pos[j] = len(s.idx)
+	s.idx = append(s.idx, j)
+	s.val = append(s.val, v)
+}
+
+// Len returns the number of touched coordinates.
+func (s *Sparse) Len() int { return len(s.idx) }
+
+// At returns the i-th touched (coordinate, value) pair in insertion
+// order.
+func (s *Sparse) At(i int) (int, float64) { return s.idx[i], s.val[i] }
+
+// Dense writes the accumulated gradient into out (which must have
+// enough length) and returns it; used by tests.
+func (s *Sparse) Dense(out []float64) []float64 {
+	for i, j := range s.idx {
+		out[j] += s.val[i]
+	}
+	return out
+}
+
+// GradFunc computes the gradient of one example's loss f_i at w,
+// accumulating into grad. Implementations should only touch the
+// coordinates the example involves.
+type GradFunc func(example int, w []float64, grad *Sparse)
+
+// Result reports what an optimization run did.
+type Result struct {
+	Epochs    int     // epochs actually run
+	Converged bool    // true when the tolerance stop fired
+	LastDelta float64 // max |Δw| over the final epoch
+}
+
+// Minimize runs stochastic optimization over n examples, updating w in
+// place, and returns run statistics. The examples are visited in a
+// fresh random order each epoch.
+//
+// Regularization is applied lazily: a coordinate is penalized only on
+// the steps whose example touches it. This is the standard
+// sparse-data approximation — it keeps the per-step cost proportional
+// to the example's support instead of len(w).
+func Minimize(n int, w []float64, grad GradFunc, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n == 0 {
+		return Result{Converged: true}, nil
+	}
+	rng := randx.New(cfg.Seed)
+	g := NewSparse()
+	var accum []float64 // AdaGrad accumulator
+	if cfg.Method == AdaGrad {
+		accum = make([]float64, len(w))
+	}
+	prev := make([]float64, len(w))
+	var res Result
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		copy(prev, w)
+		order := rng.Shuffled(n)
+		for _, i := range order {
+			g.Reset()
+			grad(i, w, g)
+			lr := cfg.LearningRate / (1 + cfg.Decay*float64(step))
+			step++
+			for p := 0; p < g.Len(); p++ {
+				j, gj := g.At(p)
+				gj += cfg.L2 * w[j]
+				eta := lr
+				if cfg.Method == AdaGrad {
+					accum[j] += gj * gj
+					eta = cfg.LearningRate / (1e-8 + math.Sqrt(accum[j]))
+				}
+				w[j] -= eta * gj
+				if cfg.L1 > 0 {
+					w[j] = mathx.SoftThreshold(w[j], eta*cfg.L1)
+				}
+			}
+		}
+		res.Epochs = epoch + 1
+		res.LastDelta = mathx.MaxAbsDiff(w, prev)
+		if cfg.Tolerance > 0 && res.LastDelta < cfg.Tolerance {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// BatchGradFunc computes the full-batch gradient of the smooth part of
+// the objective at w into grad (zeroed, len(w)) and returns the smooth
+// loss value.
+type BatchGradFunc func(w []float64, grad []float64) float64
+
+// ProximalGradient minimizes smooth(w) + λ1||w||₁ with ISTA-style
+// proximal gradient steps and backtracking line search. It is used for
+// the Lasso path (Section 5.3.1), where a deterministic solution per
+// penalty keeps the path smooth.
+func ProximalGradient(w []float64, smooth BatchGradFunc, l1 float64, maxIter int, tol float64) (Result, error) {
+	if maxIter <= 0 {
+		return Result{}, errors.New("optim: maxIter must be positive")
+	}
+	if l1 < 0 {
+		return Result{}, errors.New("optim: l1 must be non-negative")
+	}
+	grad := make([]float64, len(w))
+	next := make([]float64, len(w))
+	lr := 1.0
+	var res Result
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		loss := smooth(w, grad)
+		// Backtracking: halve lr until the quadratic upper bound holds.
+		for try := 0; ; try++ {
+			for j := range w {
+				next[j] = mathx.SoftThreshold(w[j]-lr*grad[j], lr*l1)
+			}
+			gNext := make([]float64, len(w))
+			lossNext := smooth(next, gNext)
+			// Upper bound: loss + <grad, Δ> + ||Δ||²/(2lr)
+			var lin, quad float64
+			for j := range w {
+				d := next[j] - w[j]
+				lin += grad[j] * d
+				quad += d * d
+			}
+			if lossNext <= loss+lin+quad/(2*lr)+1e-12 || try >= 40 {
+				break
+			}
+			lr /= 2
+		}
+		delta := mathx.MaxAbsDiff(next, w)
+		copy(w, next)
+		res.Epochs = iter + 1
+		res.LastDelta = delta
+		if delta < tol {
+			res.Converged = true
+			return res, nil
+		}
+		// Gentle growth so the step size can recover after backtracks.
+		lr *= 1.1
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+// Package sourcesel implements source selection on top of SLiMFast's
+// accuracy estimates: choosing which data sources to acquire under a
+// budget. The paper's introduction motivates exactly this use of
+// low-error accuracy estimates ("help users minimize the monetary cost
+// of data acquisition by purchasing only accurate data sources",
+// citing Dong, Saha & Srivastava's "Less is more" [12]).
+//
+// The selector greedily maximizes the expected fusion accuracy of the
+// selected subset: at each step it adds the source whose inclusion
+// most improves the expected probability that weighted voting recovers
+// the truth, normalized by its cost, until the budget is exhausted.
+// The gain estimate uses the Gaussian approximation of the weighted
+// vote margin, which is cheap and monotone in the right things
+// (coverage up, accuracy up, redundancy down).
+package sourcesel
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"slimfast/internal/data"
+	"slimfast/internal/mathx"
+)
+
+// Candidate describes one acquirable source.
+type Candidate struct {
+	Source data.SourceID
+	// Accuracy is the (estimated) accuracy A_s, e.g. from
+	// core.Model.SourceAccuracies or PredictAccuracy for unseen
+	// sources.
+	Accuracy float64
+	// Coverage is the fraction of objects the source is expected to
+	// report on (its selectivity).
+	Coverage float64
+	// Cost of acquiring the source; must be positive.
+	Cost float64
+}
+
+// Selection is the chosen subset with its predicted quality.
+type Selection struct {
+	Sources []data.SourceID
+	// SpentCost is the total cost of the chosen sources.
+	SpentCost float64
+	// ExpectedAccuracy is the model's estimate of fusion accuracy with
+	// the chosen subset.
+	ExpectedAccuracy float64
+}
+
+// expectedFusionAccuracy approximates the probability that weighted
+// voting over the chosen sources recovers an object's true value, using
+// a Gaussian approximation of the vote margin. Each selected source
+// contributes weight σ_s = logit(A_s) when it reports (probability =
+// its coverage): correct reports add +σ, wrong reports subtract σ in
+// expectation over a binary-symmetric conflict.
+func expectedFusionAccuracy(chosen []Candidate) float64 {
+	if len(chosen) == 0 {
+		return 0
+	}
+	var mean, variance float64
+	for _, c := range chosen {
+		a := mathx.Clamp(c.Accuracy, 0.02, 0.98)
+		w := math.Abs(mathx.Logit(a))
+		// Margin contribution when the source reports: +w with prob a,
+		// -w otherwise (its weight is spent on a wrong value).
+		m := c.Coverage * w * (2*a - 1)
+		v := c.Coverage * w * w * (1 - c.Coverage*(2*a-1)*(2*a-1))
+		mean += m
+		variance += v
+	}
+	if variance <= 0 {
+		if mean > 0 {
+			return 1
+		}
+		return 0.5
+	}
+	// P(margin > 0) under the Gaussian approximation.
+	z := mean / math.Sqrt(variance)
+	return mathx.Clamp(normalCDF(z), 0, 1)
+}
+
+// normalCDF is Φ(z) via erf.
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// Select greedily picks sources maximizing expected fusion accuracy
+// per unit cost, subject to the budget. Candidates with non-positive
+// cost or out-of-range accuracy/coverage are rejected.
+func Select(candidates []Candidate, budget float64) (*Selection, error) {
+	if budget <= 0 {
+		return nil, errors.New("sourcesel: budget must be positive")
+	}
+	for _, c := range candidates {
+		if c.Cost <= 0 {
+			return nil, errors.New("sourcesel: candidate cost must be positive")
+		}
+		if c.Accuracy < 0 || c.Accuracy > 1 {
+			return nil, errors.New("sourcesel: accuracy out of [0,1]")
+		}
+		if c.Coverage < 0 || c.Coverage > 1 {
+			return nil, errors.New("sourcesel: coverage out of [0,1]")
+		}
+	}
+	remaining := append([]Candidate{}, candidates...)
+	// Deterministic tie-breaking.
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].Source < remaining[j].Source })
+
+	var chosen []Candidate
+	spent := 0.0
+	current := 0.0
+	for {
+		bestIdx := -1
+		bestRatio := 0.0
+		bestAcc := current
+		for i, c := range remaining {
+			if spent+c.Cost > budget {
+				continue
+			}
+			acc := expectedFusionAccuracy(append(chosen, c))
+			gain := acc - current
+			ratio := gain / c.Cost
+			if bestIdx == -1 || ratio > bestRatio+1e-15 {
+				bestIdx = i
+				bestRatio = ratio
+				bestAcc = acc
+			}
+		}
+		if bestIdx == -1 || bestRatio <= 0 {
+			break
+		}
+		c := remaining[bestIdx]
+		chosen = append(chosen, c)
+		spent += c.Cost
+		current = bestAcc
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	sel := &Selection{SpentCost: spent, ExpectedAccuracy: current}
+	for _, c := range chosen {
+		sel.Sources = append(sel.Sources, c.Source)
+	}
+	sort.Slice(sel.Sources, func(i, j int) bool { return sel.Sources[i] < sel.Sources[j] })
+	return sel, nil
+}
+
+// CandidatesFromEstimates builds candidates from a dataset's estimated
+// accuracies with observed coverage and uniform cost.
+func CandidatesFromEstimates(ds *data.Dataset, accuracies []float64, cost float64) []Candidate {
+	out := make([]Candidate, 0, ds.NumSources())
+	nObj := float64(ds.NumObjects())
+	for s := 0; s < ds.NumSources(); s++ {
+		cov := 0.0
+		if nObj > 0 {
+			cov = float64(ds.SourceObservationCount(data.SourceID(s))) / nObj
+		}
+		out = append(out, Candidate{
+			Source:   data.SourceID(s),
+			Accuracy: accuracies[s],
+			Coverage: mathx.Clamp(cov, 0, 1),
+			Cost:     cost,
+		})
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package sourcesel
+
+import (
+	"testing"
+
+	"slimfast/internal/core"
+	"slimfast/internal/data"
+	"slimfast/internal/metrics"
+	"slimfast/internal/synth"
+)
+
+func candidates(accs, covs, costs []float64) []Candidate {
+	out := make([]Candidate, len(accs))
+	for i := range accs {
+		out[i] = Candidate{
+			Source: data.SourceID(i), Accuracy: accs[i],
+			Coverage: covs[i], Cost: costs[i],
+		}
+	}
+	return out
+}
+
+func TestSelectPrefersAccurateSources(t *testing.T) {
+	cands := candidates(
+		[]float64{0.95, 0.55, 0.9, 0.5},
+		[]float64{1, 1, 1, 1},
+		[]float64{1, 1, 1, 1},
+	)
+	sel, err := Select(cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Sources) != 2 {
+		t.Fatalf("selected %d sources, want 2", len(sel.Sources))
+	}
+	want := map[data.SourceID]bool{0: true, 2: true}
+	for _, s := range sel.Sources {
+		if !want[s] {
+			t.Errorf("selected %d; want the two accurate sources", s)
+		}
+	}
+	if sel.SpentCost != 2 {
+		t.Errorf("spent = %v", sel.SpentCost)
+	}
+	if sel.ExpectedAccuracy < 0.9 {
+		t.Errorf("expected accuracy = %v, want >= 0.9", sel.ExpectedAccuracy)
+	}
+}
+
+func TestSelectRespectsBudgetAndCosts(t *testing.T) {
+	// A superb but expensive source vs several cheap decent ones.
+	cands := candidates(
+		[]float64{0.97, 0.8, 0.8, 0.8},
+		[]float64{1, 1, 1, 1},
+		[]float64{10, 1, 1, 1},
+	)
+	sel, err := Select(cands, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.SpentCost > 3 {
+		t.Fatalf("budget exceeded: %v", sel.SpentCost)
+	}
+	// The expensive source cannot fit; the three cheap ones should.
+	if len(sel.Sources) != 3 {
+		t.Errorf("selected %v, want the 3 affordable sources", sel.Sources)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	good := candidates([]float64{0.8}, []float64{1}, []float64{1})
+	if _, err := Select(good, 0); err == nil {
+		t.Error("zero budget should error")
+	}
+	bad := candidates([]float64{0.8}, []float64{1}, []float64{0})
+	if _, err := Select(bad, 1); err == nil {
+		t.Error("zero cost should error")
+	}
+	bad = candidates([]float64{1.5}, []float64{1}, []float64{1})
+	if _, err := Select(bad, 1); err == nil {
+		t.Error("accuracy > 1 should error")
+	}
+	bad = candidates([]float64{0.8}, []float64{2}, []float64{1})
+	if _, err := Select(bad, 1); err == nil {
+		t.Error("coverage > 1 should error")
+	}
+}
+
+func TestSelectMonotoneInBudget(t *testing.T) {
+	cands := candidates(
+		[]float64{0.9, 0.85, 0.8, 0.75, 0.7},
+		[]float64{0.8, 0.8, 0.8, 0.8, 0.8},
+		[]float64{1, 1, 1, 1, 1},
+	)
+	prev := 0.0
+	for _, budget := range []float64{1, 2, 3, 5} {
+		sel, err := Select(cands, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.ExpectedAccuracy+1e-9 < prev {
+			t.Fatalf("expected accuracy fell with bigger budget: %v -> %v", prev, sel.ExpectedAccuracy)
+		}
+		prev = sel.ExpectedAccuracy
+	}
+}
+
+func TestSelectSkipsWorseThanChanceWhenPossible(t *testing.T) {
+	// Sub-0.5 sources have negative expected margin contribution; with
+	// good sources available they should be left on the shelf.
+	cands := candidates(
+		[]float64{0.9, 0.2, 0.85},
+		[]float64{1, 1, 1},
+		[]float64{1, 1, 1},
+	)
+	sel, err := Select(cands, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sel.Sources {
+		if s == 1 {
+			t.Error("the 0.2-accuracy source should not be bought")
+		}
+	}
+}
+
+func TestEndToEndWithSLiMFastEstimates(t *testing.T) {
+	// Estimate accuracies with unsupervised EM, select half the budget,
+	// and verify fusing only the chosen sources stays close to fusing
+	// everything.
+	inst, err := synth.Generate(synth.Config{
+		Name: "sel", Sources: 40, Objects: 400, DomainSize: 2,
+		Assignment: synth.IIDDensity, Density: 0.3,
+		MeanAccuracy: 0.68, AccuracySD: 0.15, MinAccuracy: 0.4, MaxAccuracy: 0.95,
+		EnsureTruthObserved: true, Seed: 301,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Compile(inst.Dataset, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FitEM(nil); err != nil {
+		t.Fatal(err)
+	}
+	cands := CandidatesFromEstimates(inst.Dataset, m.SourceAccuracies(), 1)
+	sel, err := Select(cands, 20) // half the sources
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Sources) == 0 || len(sel.Sources) > 20 {
+		t.Fatalf("selected %d sources", len(sel.Sources))
+	}
+	sub, _, err := data.RestrictSources(inst.Dataset, sel.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := core.Compile(sub, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m2.Fuse(core.AlgorithmEM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score only objects still observed.
+	gold := data.TruthMap{}
+	for o, v := range inst.Gold {
+		if len(sub.Domain(o)) > 0 {
+			gold[o] = v
+		}
+	}
+	acc := metrics.ObjectAccuracy(res.Values, gold)
+	if acc < 0.9 {
+		t.Errorf("fusing the selected half = %.3f accuracy, want >= 0.9", acc)
+	}
+}

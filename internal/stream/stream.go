@@ -1,0 +1,289 @@
+// Package stream implements single-pass streaming data fusion, the
+// efficiency extension the paper's related-work section points at
+// (Zhao, Cheng & Ng: truth discovery in data streams, CIKM 2014).
+//
+// The Fuser ingests observations one at a time and maintains, at every
+// moment, SLiMFast-style estimates: per-object posteriors under the
+// log-odds voting model of Equation 4 and per-source accuracies
+// anchored on posterior agreement (the same fixed point the batch
+// Calibrate pass converges to). Each observation costs O(observers of
+// the touched object); nothing is ever re-scanned.
+//
+// State per source is two scalars (expected-correct mass and total
+// mass), optionally decayed so drifting sources are tracked; state per
+// object is its claim set and cached posterior.
+package stream
+
+import (
+	"errors"
+	"sort"
+
+	"slimfast/internal/data"
+	"slimfast/internal/mathx"
+)
+
+// Options tunes the streaming fuser.
+type Options struct {
+	// InitAccuracy is the prior accuracy of a never-seen source.
+	InitAccuracy float64
+	// PriorStrength is the pseudo-count mass behind InitAccuracy; the
+	// larger it is, the more observations a source needs to move its
+	// accuracy estimate.
+	PriorStrength float64
+	// Decay in (0, 1] exponentially discounts old evidence per
+	// observation of a source: 1 means never forget; 0.99 tracks
+	// drifting sources with an effective window of ~100 observations.
+	Decay float64
+}
+
+// DefaultOptions returns settings that work across the test workloads.
+func DefaultOptions() Options {
+	return Options{InitAccuracy: 0.7, PriorStrength: 4, Decay: 1}
+}
+
+// Validate reports the first invalid option.
+func (o Options) Validate() error {
+	if o.InitAccuracy <= 0 || o.InitAccuracy >= 1 {
+		return errors.New("stream: InitAccuracy must be in (0,1)")
+	}
+	if o.PriorStrength < 0 {
+		return errors.New("stream: PriorStrength must be non-negative")
+	}
+	if o.Decay <= 0 || o.Decay > 1 {
+		return errors.New("stream: Decay must be in (0,1]")
+	}
+	return nil
+}
+
+type sourceState struct {
+	agree float64 // Σ posterior probability of the source's claims
+	total float64 // claim mass (decayed)
+}
+
+type objectState struct {
+	claims    map[string]string // source -> value
+	posterior map[string]float64
+}
+
+// Fuser is a streaming data-fusion engine. Not safe for concurrent use;
+// wrap with a mutex if needed.
+type Fuser struct {
+	opts    Options
+	sources map[string]*sourceState
+	objects map[string]*objectState
+	nObs    int
+}
+
+// New returns an empty Fuser.
+func New(opts Options) (*Fuser, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fuser{
+		opts:    opts,
+		sources: map[string]*sourceState{},
+		objects: map[string]*objectState{},
+	}, nil
+}
+
+// accuracy returns the current smoothed accuracy of a source state.
+func (f *Fuser) accuracy(st *sourceState) float64 {
+	num := f.opts.InitAccuracy*f.opts.PriorStrength + st.agree
+	den := f.opts.PriorStrength + st.total
+	return mathx.Clamp(num/den, 0.02, 0.98)
+}
+
+// sigma returns the voting weight (log odds) of a source.
+func (f *Fuser) sigma(name string) float64 {
+	st := f.sources[name]
+	if st == nil {
+		return mathx.Logit(f.opts.InitAccuracy)
+	}
+	return mathx.Logit(f.accuracy(st))
+}
+
+// recomputePosterior rebuilds an object's posterior from its claims
+// under the current source weights and returns it.
+func (f *Fuser) recomputePosterior(obj *objectState) map[string]float64 {
+	scores := map[string]float64{}
+	for src, val := range obj.claims {
+		scores[val] += f.sigma(src)
+	}
+	// Stable ordering for the softmax input.
+	vals := make([]string, 0, len(scores))
+	for v := range scores {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	xs := make([]float64, len(vals))
+	for i, v := range vals {
+		xs[i] = scores[v]
+	}
+	ps := mathx.Softmax(xs, nil)
+	post := make(map[string]float64, len(vals))
+	for i, v := range vals {
+		post[v] = ps[i]
+	}
+	return post
+}
+
+// Observe ingests one claim: source says object has value. Re-claiming
+// the same (source, object) replaces the previous value (single-truth
+// semantics). The touched object's posterior and its observers'
+// accuracies are updated incrementally.
+func (f *Fuser) Observe(source, object, value string) {
+	f.nObs++
+	src := f.sources[source]
+	if src == nil {
+		src = &sourceState{}
+		f.sources[source] = src
+	}
+	obj := f.objects[object]
+	if obj == nil {
+		obj = &objectState{claims: map[string]string{}}
+		f.objects[object] = obj
+	}
+
+	// Remove the old posterior's contribution to every observer of
+	// this object (their agreement mass will be re-added under the new
+	// posterior below).
+	for s, v := range obj.claims {
+		if st := f.sources[s]; st != nil && obj.posterior != nil {
+			st.agree -= obj.posterior[v]
+			st.total--
+		}
+	}
+
+	// Apply decay to the observing source's own history at claim time.
+	if f.opts.Decay < 1 {
+		src.agree *= f.opts.Decay
+		src.total *= f.opts.Decay
+	}
+	obj.claims[source] = value
+
+	// Recompute the posterior under current weights and re-add the
+	// agreement mass for all observers.
+	obj.posterior = f.recomputePosterior(obj)
+	for s, v := range obj.claims {
+		st := f.sources[s]
+		if st == nil {
+			st = &sourceState{}
+			f.sources[s] = st
+		}
+		st.agree += obj.posterior[v]
+		st.total++
+	}
+}
+
+// Value returns the current MAP estimate and its posterior probability
+// for an object; ok is false when the object is unknown.
+func (f *Fuser) Value(object string) (value string, confidence float64, ok bool) {
+	obj := f.objects[object]
+	if obj == nil || len(obj.posterior) == 0 {
+		return "", 0, false
+	}
+	// Deterministic argmax: highest probability, ties to the smaller
+	// string.
+	vals := make([]string, 0, len(obj.posterior))
+	for v := range obj.posterior {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	best, bestP := vals[0], obj.posterior[vals[0]]
+	for _, v := range vals[1:] {
+		if obj.posterior[v] > bestP {
+			best, bestP = v, obj.posterior[v]
+		}
+	}
+	return best, bestP, true
+}
+
+// SourceAccuracy returns the current accuracy estimate for a source
+// (the prior for unknown sources).
+func (f *Fuser) SourceAccuracy(source string) float64 {
+	st := f.sources[source]
+	if st == nil {
+		return f.opts.InitAccuracy
+	}
+	return f.accuracy(st)
+}
+
+// Estimates returns the MAP value of every known object.
+func (f *Fuser) Estimates() map[string]string {
+	out := make(map[string]string, len(f.objects))
+	for name := range f.objects {
+		if v, _, ok := f.Value(name); ok {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// Stats reports the stream's size so far.
+func (f *Fuser) Stats() (sources, objects, observations int) {
+	return len(f.sources), len(f.objects), f.nObs
+}
+
+// Refine runs full re-estimation sweeps over all objects (posterior
+// under current weights, then accuracies from agreement), tightening
+// the single-pass estimates toward the batch fixed point. Call it
+// sparingly (e.g. every N thousand observations); each sweep is
+// O(total claims).
+func (f *Fuser) Refine(sweeps int) {
+	for i := 0; i < sweeps; i++ {
+		// Re-derive accuracies from scratch under current posteriors.
+		for _, st := range f.sources {
+			st.agree = 0
+			st.total = 0
+		}
+		for _, obj := range f.objects {
+			for s, v := range obj.claims {
+				st := f.sources[s]
+				st.agree += obj.posterior[v]
+				st.total++
+			}
+		}
+		// Re-derive posteriors under the new accuracies.
+		for _, obj := range f.objects {
+			obj.posterior = f.recomputePosterior(obj)
+		}
+	}
+}
+
+// Snapshot exports the accumulated claims as an immutable Dataset plus
+// the current MAP estimates, for handing to the batch SLiMFast pipeline
+// (e.g. to fit domain features offline).
+func (f *Fuser) Snapshot(name string) (*data.Dataset, data.TruthMap) {
+	b := data.NewBuilder(name)
+	// Deterministic interning order.
+	objNames := make([]string, 0, len(f.objects))
+	for o := range f.objects {
+		objNames = append(objNames, o)
+	}
+	sort.Strings(objNames)
+	for _, oname := range objNames {
+		obj := f.objects[oname]
+		srcNames := make([]string, 0, len(obj.claims))
+		for s := range obj.claims {
+			srcNames = append(srcNames, s)
+		}
+		sort.Strings(srcNames)
+		for _, sname := range srcNames {
+			b.ObserveNames(sname, oname, obj.claims[sname])
+		}
+	}
+	ds := b.Freeze()
+	estimates := data.TruthMap{}
+	names, err := estimatesByName(f)
+	if err == nil {
+		tm, terr := data.TruthFromNames(ds, names)
+		if terr == nil {
+			estimates = tm
+		}
+	}
+	return ds, estimates
+}
+
+func estimatesByName(f *Fuser) (map[string]string, error) {
+	return f.Estimates(), nil
+}

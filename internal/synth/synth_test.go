@@ -1,0 +1,364 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"slimfast/internal/data"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	inst, err := Generate(Config{
+		Name:                "t",
+		Sources:             50,
+		Objects:             200,
+		DomainSize:          3,
+		Assignment:          IIDDensity,
+		Density:             0.2,
+		MeanAccuracy:        0.7,
+		AccuracySD:          0.1,
+		MinAccuracy:         0.5,
+		MaxAccuracy:         0.95,
+		EnsureTruthObserved: true,
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inst.Dataset
+	if d.NumSources() != 50 || d.NumObjects() != 200 {
+		t.Fatalf("shape wrong: %d sources, %d objects", d.NumSources(), d.NumObjects())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Density within sampling noise of 0.2.
+	if got := d.Density(); math.Abs(got-0.2) > 0.02 {
+		t.Errorf("density = %v, want ~0.2", got)
+	}
+	if len(inst.TrueAccuracy) != 50 {
+		t.Errorf("TrueAccuracy len = %d", len(inst.TrueAccuracy))
+	}
+}
+
+func TestGenerateMeanAccuracyCalibrated(t *testing.T) {
+	inst, err := Generate(Config{
+		Name: "t", Sources: 200, Objects: 300, DomainSize: 2,
+		Assignment: IIDDensity, Density: 0.1,
+		MeanAccuracy: 0.65, AccuracySD: 0.1, MinAccuracy: 0.4, MaxAccuracy: 0.95,
+		Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, a := range inst.TrueAccuracy {
+		if a < 0.4 || a > 0.95 {
+			t.Fatalf("accuracy out of clamp: %v", a)
+		}
+		sum += a
+	}
+	mean := sum / float64(len(inst.TrueAccuracy))
+	if math.Abs(mean-0.65) > 0.01 {
+		t.Errorf("mean accuracy = %v, want 0.65", mean)
+	}
+}
+
+func TestGenerateEmpiricalAccuracyMatchesLatent(t *testing.T) {
+	// Without the truth-observed fix-up, each source's empirical
+	// accuracy against gold should track its latent accuracy.
+	inst, err := Generate(Config{
+		Name: "t", Sources: 20, Objects: 2000, DomainSize: 2,
+		Assignment: IIDDensity, Density: 0.5,
+		MeanAccuracy: 0.7, AccuracySD: 0.12, MinAccuracy: 0.5, MaxAccuracy: 0.95,
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := inst.Dataset.TrueSourceAccuracies(inst.Gold)
+	for s := range emp {
+		if math.Abs(emp[s]-inst.TrueAccuracy[s]) > 0.05 {
+			t.Errorf("source %d: empirical %v vs latent %v", s, emp[s], inst.TrueAccuracy[s])
+		}
+	}
+}
+
+func TestEnsureTruthObserved(t *testing.T) {
+	inst, err := Generate(Config{
+		Name: "t", Sources: 10, Objects: 500, DomainSize: 5,
+		Assignment: IIDDensity, Density: 0.2,
+		MeanAccuracy: 0.55, AccuracySD: 0.05, MinAccuracy: 0.3, MaxAccuracy: 0.9,
+		EnsureTruthObserved: true,
+		Seed:                4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, truth := range inst.Gold {
+		found := false
+		for _, ob := range inst.Dataset.ObjectObservations(o) {
+			if ob.Value == truth {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("object %d: single-truth semantics violated", o)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{
+		Name: "t", Sources: 30, Objects: 100, DomainSize: 3,
+		Assignment: IIDDensity, Density: 0.3,
+		MeanAccuracy: 0.6, AccuracySD: 0.1, MinAccuracy: 0.4, MaxAccuracy: 0.9,
+		Features: []FeatureGroup{{Name: "f", Cardinality: 5, Informative: true, WeightScale: 1}},
+		Seed:     7,
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.NumObservations() != b.Dataset.NumObservations() {
+		t.Fatal("same seed, different observation counts")
+	}
+	for i := range a.Dataset.Observations {
+		if a.Dataset.Observations[i] != b.Dataset.Observations[i] {
+			t.Fatal("same seed, different observations")
+		}
+	}
+	for s := range a.TrueAccuracy {
+		if a.TrueAccuracy[s] != b.TrueAccuracy[s] {
+			t.Fatal("same seed, different accuracies")
+		}
+	}
+}
+
+func TestFixedPerObjectAssignment(t *testing.T) {
+	inst, err := Generate(Config{
+		Name: "t", Sources: 40, Objects: 100, DomainSize: 4,
+		Assignment: FixedPerObject, ObsPerObject: 7,
+		MeanAccuracy: 0.6, AccuracySD: 0.1, MinAccuracy: 0.3, MaxAccuracy: 0.9,
+		Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 100; o++ {
+		if n := len(inst.Dataset.ObjectObservations(data.ObjectID(o))); n != 7 {
+			t.Fatalf("object %d has %d observations, want 7", o, n)
+		}
+	}
+}
+
+func TestSkewedSourcesLongTail(t *testing.T) {
+	inst, err := Generate(Config{
+		Name: "t", Sources: 200, Objects: 400, DomainSize: 2,
+		Assignment: SkewedSources, ObsPerObject: 5, SourceSkew: 1.0,
+		MeanAccuracy: 0.6, AccuracySD: 0.1, MinAccuracy: 0.3, MaxAccuracy: 0.9,
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 200)
+	for _, ob := range inst.Dataset.Observations {
+		counts[ob.Source]++
+	}
+	// Head sources should have far more observations than the median.
+	max, nonzero := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzero++
+		}
+	}
+	avg := float64(inst.Dataset.NumObservations()) / float64(nonzero)
+	if float64(max) < 3*avg {
+		t.Errorf("expected long tail: max=%d avg=%.1f", max, avg)
+	}
+}
+
+func TestCopierCliquesAgree(t *testing.T) {
+	inst, err := Generate(Config{
+		Name: "t", Sources: 30, Objects: 300, DomainSize: 2,
+		Assignment: IIDDensity, Density: 0.4,
+		MeanAccuracy: 0.6, AccuracySD: 0.1, MinAccuracy: 0.3, MaxAccuracy: 0.9,
+		Copying: CopyConfig{Cliques: 2, Size: 3, CopyProb: 0.95},
+		Seed:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.CopierPairs) != 4 { // 2 cliques × 2 copiers each
+		t.Fatalf("CopierPairs = %d, want 4", len(inst.CopierPairs))
+	}
+	// Copier agreement with leader should far exceed the agreement of
+	// two independent 0.6-accuracy sources (~0.52).
+	d := inst.Dataset
+	agreeRate := func(a, b data.SourceID) float64 {
+		vals := map[data.ObjectID]data.ValueID{}
+		for _, i := range d.SourceObservationIndices(a) {
+			ob := d.Observations[i]
+			vals[ob.Object] = ob.Value
+		}
+		agree, tot := 0, 0
+		for _, i := range d.SourceObservationIndices(b) {
+			ob := d.Observations[i]
+			if v, ok := vals[ob.Object]; ok {
+				tot++
+				if v == ob.Value {
+					agree++
+				}
+			}
+		}
+		if tot == 0 {
+			return 0
+		}
+		return float64(agree) / float64(tot)
+	}
+	for _, p := range inst.CopierPairs {
+		if r := agreeRate(p[0], p[1]); r < 0.85 {
+			t.Errorf("copier pair %v agreement %v, want >= 0.85", p, r)
+		}
+	}
+	// Independent pair for contrast.
+	if r := agreeRate(20, 25); r > 0.8 {
+		t.Errorf("independent pair agreement suspiciously high: %v", r)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := Config{
+		Name: "t", Sources: 10, Objects: 10, DomainSize: 2,
+		Assignment: IIDDensity, Density: 0.5,
+		MeanAccuracy: 0.6, AccuracySD: 0.1, MinAccuracy: 0.4, MaxAccuracy: 0.9,
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Sources = 1 },
+		func(c *Config) { c.Objects = 0 },
+		func(c *Config) { c.DomainSize = 1 },
+		func(c *Config) { c.Density = 0 },
+		func(c *Config) { c.Density = 1.5 },
+		func(c *Config) { c.Assignment = FixedPerObject; c.ObsPerObject = 0 },
+		func(c *Config) { c.Assignment = FixedPerObject; c.ObsPerObject = 99 },
+		func(c *Config) { c.MeanAccuracy = 0 },
+		func(c *Config) { c.MinAccuracy = 0.9; c.MaxAccuracy = 0.4 },
+		func(c *Config) { c.Copying = CopyConfig{Cliques: 1, Size: 1, CopyProb: 0.5} },
+		func(c *Config) { c.Copying = CopyConfig{Cliques: 9, Size: 2, CopyProb: 0.5} },
+		func(c *Config) { c.Copying = CopyConfig{Cliques: 1, Size: 2, CopyProb: 0} },
+		func(c *Config) { c.Assignment = Assignment(99) },
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if _, err := Generate(c); err == nil {
+			t.Errorf("mutation %d should be rejected", i)
+		}
+	}
+}
+
+func TestCalibratedDatasetsMatchTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated dataset generation in -short mode")
+	}
+	type target struct {
+		name             string
+		sources, objects int
+		obsLo, obsHi     int
+		featLo, featHi   int
+		accLo, accHi     float64 // empirical avg source accuracy range
+	}
+	targets := []target{
+		{"stocks", 34, 907, 27000, 32000, 70, 70, 0.0, 0.55},
+		{"demos", 522, 3105, 24000, 31500, 341, 341, 0.5, 0.72},
+		{"crowd", 102, 992, 19840, 19840, 171, 171, 0.45, 0.64},
+		{"genomics", 2750, 571, 2500, 3600, 16358, 16358, 0.5, 0.8},
+	}
+	for _, tg := range targets {
+		inst, err := NamedDataset(tg.name, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", tg.name, err)
+		}
+		d := inst.Dataset
+		if d.NumSources() != tg.sources || d.NumObjects() != tg.objects {
+			t.Errorf("%s: %d sources × %d objects, want %d × %d",
+				tg.name, d.NumSources(), d.NumObjects(), tg.sources, tg.objects)
+		}
+		if n := d.NumObservations(); n < tg.obsLo || n > tg.obsHi {
+			t.Errorf("%s: %d observations, want [%d,%d]", tg.name, n, tg.obsLo, tg.obsHi)
+		}
+		if f := d.NumFeatures(); f < tg.featLo || f > tg.featHi {
+			t.Errorf("%s: %d feature values, want [%d,%d]", tg.name, f, tg.featLo, tg.featHi)
+		}
+		if acc := d.AvgSourceAccuracy(inst.Gold); acc < tg.accLo || acc > tg.accHi {
+			t.Errorf("%s: avg source accuracy %v, want [%v,%v]", tg.name, acc, tg.accLo, tg.accHi)
+		}
+	}
+}
+
+func TestExample6Shape(t *testing.T) {
+	inst, err := Example6(0.7, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inst.Dataset
+	if d.NumSources() != 1000 || d.NumObjects() != 1000 {
+		t.Fatal("Example6 shape wrong")
+	}
+	if math.Abs(d.Density()-0.01) > 0.002 {
+		t.Errorf("density = %v, want ~0.01", d.Density())
+	}
+	if acc := d.AvgSourceAccuracy(inst.Gold); math.Abs(acc-0.7) > 0.05 {
+		t.Errorf("avg accuracy = %v, want ~0.7", acc)
+	}
+}
+
+func TestNamedDatasetUnknown(t *testing.T) {
+	if _, err := NamedDataset("nope", 1); err == nil {
+		t.Error("unknown name should error")
+	}
+	if len(AllNames()) != 4 {
+		t.Error("AllNames should list 4 datasets")
+	}
+}
+
+func TestSkewedSourcesDeterministic(t *testing.T) {
+	cfg := Config{
+		Name: "sk", Sources: 100, Objects: 150, DomainSize: 2,
+		Assignment: SkewedSources, ObsPerObject: 6, SourceSkew: 0.8,
+		MeanAccuracy: 0.65, AccuracySD: 0.1, MinAccuracy: 0.4, MaxAccuracy: 0.9,
+		Copying: CopyConfig{Cliques: 2, Size: 3, CopyProb: 0.9, OverlapProb: 0.5},
+		Seed:    14,
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.NumObservations() != b.Dataset.NumObservations() {
+		t.Fatal("skewed generation nondeterministic: counts differ")
+	}
+	for i := range a.Dataset.Observations {
+		if a.Dataset.Observations[i] != b.Dataset.Observations[i] {
+			t.Fatalf("skewed generation nondeterministic at observation %d", i)
+		}
+	}
+	if len(a.Cliques) != 2 || len(a.Cliques[0]) != 3 {
+		t.Errorf("cliques = %v", a.Cliques)
+	}
+	if n := len(a.CorrelatedPairs()); n != 12 { // 2 cliques × C(3,2)=3 pairs × 2 orientations
+		t.Errorf("CorrelatedPairs = %d entries, want 12", n)
+	}
+}
