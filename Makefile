@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test test-full bench
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## test: the fast race-hardened tier (a few seconds)
+test: build vet
+	$(GO) test -race -short ./...
+
+## test-full: the complete suite, including the experiment replays
+test-full:
+	$(GO) test -race ./...
+
+## bench: run the core micro-benchmarks and snapshot them to
+## BENCH_1.json (the perf trajectory seed; bump the number per PR)
+bench:
+	./scripts/bench.sh BENCH_1.json

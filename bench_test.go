@@ -11,6 +11,7 @@
 package slimfast
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -208,31 +209,58 @@ func BenchmarkCoreERMFit(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreEMFit measures EM fitting per worker count (the E-step
+// fans out; results are bit-identical across the variants) plus the
+// opt-in minibatch M-step that parallelizes the gradient work too.
 func BenchmarkCoreEMFit(b *testing.B) {
 	inst := benchInstance(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m, err := core.Compile(inst.Dataset, core.DefaultOptions())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := m.FitEM(nil); err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, opts core.Options) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := core.Compile(inst.Dataset, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.FitEM(nil); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			run(b, opts)
+		})
+	}
+	b.Run("minibatch32-workers=4", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.Workers = 4
+		opts.Optim.Batch = 32
+		run(b, opts)
+	})
 }
 
+// BenchmarkCoreExactInference measures closed-form posterior inference
+// per worker count; this path is embarrassingly parallel, so the
+// speedup should track the core count.
 func BenchmarkCoreExactInference(b *testing.B) {
 	inst := benchInstance(b)
-	m, err := core.Compile(inst.Dataset, core.DefaultOptions())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := m.Infer(nil); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			m, err := core.Compile(inst.Dataset, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Infer(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

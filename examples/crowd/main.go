@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"slimfast/internal/core"
 	"slimfast/internal/data"
@@ -21,42 +23,55 @@ import (
 )
 
 func main() {
-	inst, err := synth.Crowd(42)
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(w io.Writer) error {
+	inst, err := synth.Crowd(42)
+	if err != nil {
+		return err
+	}
 	ds := inst.Dataset
-	fmt.Printf("task: %d workers, %d tweets, %d judgments (avg worker accuracy %.2f)\n\n",
+	fmt.Fprintf(w, "task: %d workers, %d tweets, %d judgments (avg worker accuracy %.2f)\n\n",
 		ds.NumSources(), ds.NumObjects(), ds.NumObservations(),
 		ds.AvgSourceAccuracy(inst.Gold))
 
 	// The EM/ERM crossover (the paper's Table 4 Crowd rows): with a
 	// handful of gold tweets EM wins; as gold grows ERM takes over and
 	// the optimizer switches.
-	fmt.Println("gold%  optimizer  ERM-acc  EM-acc")
+	fmt.Fprintln(w, "gold%  optimizer  ERM-acc  EM-acc")
 	for _, frac := range []float64{0.001, 0.01, 0.05, 0.20} {
 		train, test := data.Split(inst.Gold, frac, randx.New(3))
 		dec := core.Decide(ds, train, core.DefaultOptimizerOptions())
 
-		run := func(alg core.Algorithm) float64 {
+		fuse := func(alg core.Algorithm) (float64, error) {
 			m, err := core.Compile(ds, core.DefaultOptions())
 			if err != nil {
-				log.Fatal(err)
+				return 0, err
 			}
 			res, err := m.Fuse(alg, train)
 			if err != nil {
-				log.Fatal(err)
+				return 0, err
 			}
-			return metrics.ObjectAccuracy(res.Values, test)
+			return metrics.ObjectAccuracy(res.Values, test), nil
 		}
-		fmt.Printf("%5.1f  %-9s  %.3f    %.3f\n",
-			frac*100, dec.Algorithm, run(core.AlgorithmERM), run(core.AlgorithmEM))
+		ermAcc, err := fuse(core.AlgorithmERM)
+		if err != nil {
+			return err
+		}
+		emAcc, err := fuse(core.AlgorithmEM)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%5.1f  %-9s  %.3f    %.3f\n", frac*100, dec.Algorithm, ermAcc, emAcc)
 	}
 
 	// Predict the accuracy of never-seen workers from features alone
 	// (the Figure 7 scenario): train on half the workers, predict the
 	// other half.
-	fmt.Println("\npredicting unseen workers from hiring-channel features:")
+	fmt.Fprintln(w, "\npredicting unseen workers from hiring-channel features:")
 	rng := randx.New(9)
 	perm := rng.Shuffled(ds.NumSources())
 	half := ds.NumSources() / 2
@@ -66,7 +81,7 @@ func main() {
 	}
 	sub, _, err := data.RestrictSources(ds, keep)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	train := data.TruthMap{}
 	for o, v := range inst.Gold {
@@ -77,7 +92,7 @@ func main() {
 	method := eval.NewSLiMFastERM()
 	model, err := method.Model(sub, train)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	trueAcc := ds.TrueSourceAccuracies(inst.Gold)
 	var errSum float64
@@ -89,8 +104,9 @@ func main() {
 		}
 		errSum += abs(model.PredictAccuracy(labels) - trueAcc[s])
 	}
-	fmt.Printf("mean abs error on %d unseen workers: %.3f\n",
+	fmt.Fprintf(w, "mean abs error on %d unseen workers: %.3f\n",
 		ds.NumSources()-half, errSum/float64(ds.NumSources()-half))
+	return nil
 }
 
 func abs(x float64) float64 {

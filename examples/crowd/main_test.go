@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the crowdsourcing example end to end: the
+// EM/ERM crossover table and the unseen-worker prediction must both
+// render.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crowd example (~4s) in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"gold%  optimizer  ERM-acc  EM-acc",
+		"predicting unseen workers from hiring-channel features:",
+		"mean abs error on",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"slimfast/internal/core"
 	"slimfast/internal/data"
@@ -21,33 +23,39 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// The real GAD/DisGeNet data is offline; the calibrated simulator
 	// matches Table 1's shape (see DESIGN.md §4).
 	inst, err := synth.Genomics(42)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ds := inst.Dataset
-	fmt.Printf("corpus: %d articles, %d gene-disease pairs, %d extracted claims (density %.4f)\n",
+	fmt.Fprintf(w, "corpus: %d articles, %d gene-disease pairs, %d extracted claims (density %.4f)\n",
 		ds.NumSources(), ds.NumObjects(), ds.NumObservations(), ds.Density())
 
 	// Reveal 10% of the curated labels, as a curator could afford.
 	train, test := data.Split(inst.Gold, 0.10, randx.New(7))
-	fmt.Printf("curated labels: %d for training, %d held out\n\n", len(train), len(test))
+	fmt.Fprintf(w, "curated labels: %d for training, %d held out\n\n", len(train), len(test))
 
 	model, err := core.Compile(ds, core.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	result, decision, err := model.FuseAuto(train, core.DefaultOptimizerOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("optimizer chose %s (ERM units %.0f vs EM units %.0f, est. avg accuracy %.2f)\n",
+	fmt.Fprintf(w, "optimizer chose %s (ERM units %.0f vs EM units %.0f, est. avg accuracy %.2f)\n",
 		decision.Algorithm, decision.ERMUnits, decision.EMUnits, decision.AvgAccuracy)
 
 	acc := metrics.ObjectAccuracy(result.Values, test)
-	fmt.Printf("held-out association accuracy: %.3f\n\n", acc)
+	fmt.Fprintf(w, "held-out association accuracy: %.3f\n\n", acc)
 
 	// Without features the same sparse instance is much harder —
 	// the Section 5.2.1 comparison.
@@ -55,18 +63,18 @@ func main() {
 	plainOpts.UseFeatures = false
 	plain, err := core.Compile(ds, plainOpts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	plainRes, err := plain.Fuse(core.AlgorithmEM, train)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("same instance without domain features: %.3f\n",
+	fmt.Fprintf(w, "same instance without domain features: %.3f\n",
 		metrics.ObjectAccuracy(plainRes.Values, test))
 
 	// Show a few high-confidence associations a curator would review
 	// first.
-	fmt.Println("\nmost confident unlabeled associations:")
+	fmt.Fprintln(w, "\nmost confident unlabeled associations:")
 	shown := 0
 	for o := 0; o < ds.NumObjects() && shown < 5; o++ {
 		oid := data.ObjectID(o)
@@ -79,8 +87,9 @@ func main() {
 		}
 		conf := result.Posteriors[oid][v]
 		if conf > 0.95 {
-			fmt.Printf("  %s -> %s (%.2f)\n", ds.ObjectNames[o], ds.ValueNames[v], conf)
+			fmt.Fprintf(w, "  %s -> %s (%.2f)\n", ds.ObjectNames[o], ds.ValueNames[v], conf)
 			shown++
 		}
 	}
+	return nil
 }

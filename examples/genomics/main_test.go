@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the genomics example end to end: the optimizer
+// must make a decision on the sparse corpus and report held-out
+// accuracy.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "optimizer chose") {
+		t.Errorf("missing optimizer decision line:\n%s", out)
+	}
+	if !strings.Contains(out, "held-out association accuracy:") {
+		t.Errorf("missing accuracy line:\n%s", out)
+	}
+}

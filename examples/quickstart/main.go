@@ -6,12 +6,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"slimfast"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	p := slimfast.NewProblem("genomics-quickstart")
 
 	// Three articles make claims about two gene-disease associations.
@@ -35,20 +43,21 @@ func main() {
 	// Solve. EM resolves the 2-vs-1 conflict without more labels.
 	report, err := p.Solve(slimfast.WithAlgorithm(slimfast.EM), slimfast.WithSeed(1))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	value, _ := report.Value("GIGYF2,Parkinson")
-	fmt.Printf("GIGYF2,Parkinson -> %s (confidence %.2f)\n",
+	fmt.Fprintf(w, "GIGYF2,Parkinson -> %s (confidence %.2f)\n",
 		value, report.Confidence("GIGYF2,Parkinson"))
 
-	fmt.Println("\nEstimated source accuracies:")
+	fmt.Fprintln(w, "\nEstimated source accuracies:")
 	for source, acc := range report.SourceAccuracies() {
-		fmt.Printf("  %-9s %.2f\n", source, acc)
+		fmt.Fprintf(w, "  %-9s %.2f\n", source, acc)
 	}
 
 	// Predict the reliability of a brand-new article from metadata
 	// alone (source-quality initialization, Section 5.3.2).
-	fmt.Printf("\nPredicted accuracy of an unseen highly-cited article: %.2f\n",
+	fmt.Fprintf(w, "\nPredicted accuracy of an unseen highly-cited article: %.2f\n",
 		report.PredictSourceAccuracy([]string{"citations=high"}))
+	return nil
 }

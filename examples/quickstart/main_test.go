@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the example end to end and checks its headline
+// output: the 2-vs-1 conflict resolves to "false" and an accuracy
+// prediction is produced.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GIGYF2,Parkinson -> false") {
+		t.Errorf("quickstart should fuse GIGYF2,Parkinson to false:\n%s", out)
+	}
+	if !strings.Contains(out, "Predicted accuracy of an unseen highly-cited article") {
+		t.Errorf("missing unseen-source prediction line:\n%s", out)
+	}
+}

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"slimfast/internal/core"
 	"slimfast/internal/randx"
@@ -17,6 +19,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Simulate a claim stream: 60 feeds reporting on 800 events in
 	// random arrival order.
 	inst, err := synth.Generate(synth.Config{
@@ -26,7 +34,7 @@ func main() {
 		EnsureTruthObserved: true, Seed: 11,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ds := inst.Dataset
 	type triple struct{ s, o, v string }
@@ -41,7 +49,7 @@ func main() {
 
 	f, err := stream.New(stream.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	score := func() float64 {
 		correct, total := 0, 0
@@ -61,25 +69,25 @@ func main() {
 		return float64(correct) / float64(total)
 	}
 
-	fmt.Println("claims ingested -> accuracy on objects seen so far")
+	fmt.Fprintln(w, "claims ingested -> accuracy on objects seen so far")
 	for i, tr := range arrivals {
 		f.Observe(tr.s, tr.o, tr.v)
 		if (i+1)%(len(arrivals)/5) == 0 {
-			fmt.Printf("  %6d -> %.3f\n", i+1, score())
+			fmt.Fprintf(w, "  %6d -> %.3f\n", i+1, score())
 		}
 	}
 	f.Refine(2)
-	fmt.Printf("after Refine sweeps   -> %.3f\n", score())
+	fmt.Fprintf(w, "after Refine sweeps   -> %.3f\n", score())
 
 	// Offline refit: export the accumulated claims and run batch EM.
 	snap, _ := f.Snapshot("snapshot")
 	m, err := core.Compile(snap, core.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := m.Fuse(core.AlgorithmEM, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Score the batch result against gold, matching objects by name.
 	gold := map[string]string{}
@@ -95,5 +103,6 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("batch EM refit        -> %.3f\n", float64(correct)/float64(total))
+	fmt.Fprintf(w, "batch EM refit        -> %.3f\n", float64(correct)/float64(total))
+	return nil
 }

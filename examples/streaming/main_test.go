@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the streaming example end to end: the ingest
+// progress lines and the final batch refit score must render.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "claims ingested -> accuracy on objects seen so far") {
+		t.Errorf("missing ingest header:\n%s", out)
+	}
+	if !strings.Contains(out, "batch EM refit") {
+		t.Errorf("missing batch refit line:\n%s", out)
+	}
+}

@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"slimfast/internal/core"
 	"slimfast/internal/data"
@@ -20,44 +22,50 @@ import (
 )
 
 func main() {
-	inst, err := synth.Stocks(42)
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(w io.Writer) error {
+	inst, err := synth.Stocks(42)
+	if err != nil {
+		return err
+	}
 	ds := inst.Dataset
-	fmt.Printf("stocks: %d web sources, %d stock-days, avg source accuracy %.2f\n",
+	fmt.Fprintf(w, "stocks: %d web sources, %d stock-days, avg source accuracy %.2f\n",
 		ds.NumSources(), ds.NumObjects(), ds.AvgSourceAccuracy(inst.Gold))
 
 	train, test := data.Split(inst.Gold, 0.05, randx.New(5))
 	model, err := core.Compile(ds, core.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, dec, err := model.FuseAuto(train, core.DefaultOptimizerOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("fused with %s: volume accuracy %.3f on held-out stock-days\n\n",
+	fmt.Fprintf(w, "fused with %s: volume accuracy %.3f on held-out stock-days\n\n",
 		dec.Algorithm, metrics.ObjectAccuracy(res.Values, test))
 
 	// Which traffic statistics actually predict accuracy? Run the
 	// Lasso path and report the earliest-activating features.
 	path, err := lasso.Compute(ds, inst.Gold, lasso.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("traffic features most predictive of source accuracy (Lasso path):")
+	fmt.Fprintln(w, "traffic features most predictive of source accuracy (Lasso path):")
 	for i, k := range path.ActivationOrder(1e-6)[:6] {
 		name := path.FeatureNames[k]
-		fmt.Printf("  %d. %-32s final weight %+.2f (latent %+.2f)\n",
+		fmt.Fprintf(w, "  %d. %-32s final weight %+.2f (latent %+.2f)\n",
 			i+1, name, path.FinalWeights()[k], inst.TrueFeatureWeights[name])
 	}
 
 	// Copy detection on the Demonstrations news-source dataset.
-	fmt.Println("\nhunting copiers among news portals (Demonstrations):")
+	fmt.Fprintln(w, "\nhunting copiers among news portals (Demonstrations):")
 	demos, err := synth.Demos(42)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	copyOpts := core.DefaultOptions()
 	copyOpts.UseFeatures = false
@@ -65,13 +73,13 @@ func main() {
 	copyOpts.MinCopyOverlap = 12
 	cm, err := core.Compile(demos.Dataset, copyOpts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	dtrain, _ := data.Split(demos.Gold, 0.20, randx.New(6))
 	// Semi-supervised EM: agreement-on-mistakes across all objects
 	// drives the copy weights, not just the labeled ones.
 	if _, err := cm.FitEM(dtrain); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	planted := demos.CorrelatedPairs()
 	type pair struct {
@@ -80,8 +88,8 @@ func main() {
 	}
 	var best []pair
 	for p := 0; p < cm.NumCopyPairs(); p++ {
-		a, b, w := cm.CopyPair(p)
-		best = append(best, pair{a, b, w})
+		a, b, wt := cm.CopyPair(p)
+		best = append(best, pair{a, b, wt})
 	}
 	for i := 0; i < len(best); i++ {
 		for j := i + 1; j < len(best); j++ {
@@ -96,7 +104,7 @@ func main() {
 		if planted[[2]data.SourceID{p.a, p.b}] {
 			mark = "  <- planted copier"
 		}
-		fmt.Printf("  %s ~ %s  weight %+.2f%s\n",
+		fmt.Fprintf(w, "  %s ~ %s  weight %+.2f%s\n",
 			demos.Dataset.SourceNames[p.a], demos.Dataset.SourceNames[p.b], p.w, mark)
 	}
 	var plantedSum, indepSum float64
@@ -110,6 +118,7 @@ func main() {
 			indepN++
 		}
 	}
-	fmt.Printf("mean copy weight: planted pairs %+.3f vs independent pairs %+.3f (%d vs %d pairs)\n",
+	fmt.Fprintf(w, "mean copy weight: planted pairs %+.3f vs independent pairs %+.3f (%d vs %d pairs)\n",
 		plantedSum/float64(plantedN), indepSum/float64(indepN), plantedN, indepN)
+	return nil
 }

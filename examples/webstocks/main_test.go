@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the webstocks example end to end: the Lasso
+// feature ranking and the copy-detection summary must both render.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("webstocks example (~3s) in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"traffic features most predictive of source accuracy (Lasso path):",
+		"hunting copiers among news portals (Demonstrations):",
+		"mean copy weight: planted pairs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

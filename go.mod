@@ -1,0 +1,3 @@
+module slimfast
+
+go 1.24

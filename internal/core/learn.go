@@ -7,6 +7,7 @@ import (
 	"slimfast/internal/data"
 	"slimfast/internal/mathx"
 	"slimfast/internal/optim"
+	"slimfast/internal/parallel"
 )
 
 // FitERM learns the model weights by empirical risk minimization over
@@ -32,7 +33,7 @@ func (m *Model) FitERM(train data.TruthMap) (optim.Result, error) {
 			}
 		})
 	}
-	res, err := optim.Minimize(len(examples), m.w, grad, m.opts.Optim)
+	res, err := optim.Minimize(len(examples), m.w, grad, m.optimCfg())
 	if err != nil {
 		return res, err
 	}
@@ -104,30 +105,36 @@ func (m *Model) FitEM(train data.TruthMap) (EMStats, error) {
 	q := make([][]float64, len(examples))
 	prevW := make([]float64, len(m.w))
 	var stats EMStats
-	mcfg := m.opts.Optim
+	mcfg := m.optimCfg()
 	// A few SGD epochs per M-step; full convergence per round is
 	// wasted work since q moves again immediately.
 	if mcfg.Epochs > 10 {
 		mcfg.Epochs = 10
 	}
+	workers := m.workers()
 	for iter := 0; iter < m.opts.EMMaxIters; iter++ {
-		// E-step.
-		var buf []float64
-		for i, ex := range examples {
-			scores, dom := m.objectScores(ex.object, buf)
-			buf = scores
-			if ex.truth != data.None {
-				p := make([]float64, len(dom))
-				for j, v := range dom {
-					if v == ex.truth {
-						p[j] = 1
+		// E-step: each example's posterior lands in its own q slot, so
+		// the scoring fans out over workers with bit-identical results
+		// for any worker count.
+		parallel.Do(len(examples), workers, func(ch parallel.Chunk) {
+			var buf []float64
+			for i := ch.Lo; i < ch.Hi; i++ {
+				ex := examples[i]
+				scores, dom := m.objectScores(ex.object, buf)
+				buf = scores
+				if ex.truth != data.None {
+					p := make([]float64, len(dom))
+					for j, v := range dom {
+						if v == ex.truth {
+							p[j] = 1
+						}
 					}
+					q[i] = p
+					continue
 				}
-				q[i] = p
-				continue
+				q[i] = mathx.Softmax(scores, nil)
 			}
-			q[i] = mathx.Softmax(scores, nil)
-		}
+		})
 		// M-step.
 		copy(prevW, m.w)
 		mcfg.Seed = m.opts.Optim.Seed + int64(iter) + 1
@@ -289,19 +296,25 @@ func (m *Model) LogLikelihood(truth data.TruthMap) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
-	var sum float64
-	var buf []float64
-	for _, ex := range examples {
-		scores, dom := m.objectScores(ex.object, buf)
-		buf = scores
-		lse := mathx.LogSumExp(scores)
-		for i, v := range dom {
-			if v == ex.truth {
-				sum += scores[i] - lse
-				break
+	// Chunked ordered reduction: bit-identical for any Workers > 1 and
+	// within float reassociation noise (<< 1e-12) of the serial order.
+	sum := parallel.Sum(len(examples), m.workers(), func(ch parallel.Chunk) float64 {
+		var part float64
+		var buf []float64
+		for i := ch.Lo; i < ch.Hi; i++ {
+			ex := examples[i]
+			scores, dom := m.objectScores(ex.object, buf)
+			buf = scores
+			lse := mathx.LogSumExp(scores)
+			for j, v := range dom {
+				if v == ex.truth {
+					part += scores[j] - lse
+					break
+				}
 			}
 		}
-	}
+		return part
+	})
 	return sum / float64(len(examples))
 }
 
@@ -336,19 +349,23 @@ func (m *Model) ExpectedLogLoss(gold data.TruthMap) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
-	var sum float64
-	var buf []float64
-	for _, ex := range examples {
-		scores, dom := m.objectScores(ex.object, buf)
-		buf = scores
-		lse := mathx.LogSumExp(scores)
-		for i, v := range dom {
-			if v == ex.truth {
-				sum += -(scores[i] - lse)
-				break
+	sum := parallel.Sum(len(examples), m.workers(), func(ch parallel.Chunk) float64 {
+		var part float64
+		var buf []float64
+		for i := ch.Lo; i < ch.Hi; i++ {
+			ex := examples[i]
+			scores, dom := m.objectScores(ex.object, buf)
+			buf = scores
+			lse := mathx.LogSumExp(scores)
+			for j, v := range dom {
+				if v == ex.truth {
+					part += -(scores[j] - lse)
+					break
+				}
 			}
 		}
-	}
+		return part
+	})
 	loss := sum / float64(len(examples))
 	if math.IsNaN(loss) {
 		return math.Inf(1)

@@ -24,6 +24,7 @@ import (
 	"slimfast/internal/factor"
 	"slimfast/internal/mathx"
 	"slimfast/internal/optim"
+	"slimfast/internal/parallel"
 )
 
 // Inference selects how posteriors are computed.
@@ -109,6 +110,20 @@ type Options struct {
 	// (Section 5.3.2): when true, the mean of the learned per-source
 	// weights is used as an intercept alongside the feature weights.
 	PredictIntercept bool
+
+	// Workers bounds the goroutines used by the parallel execution
+	// subsystem for the EM E-step, exact inference and likelihood
+	// scoring, and is inherited by Optim.Workers when that is unset.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs everything on the calling
+	// goroutine (the legacy serial path). Learning and inference
+	// results — weights, fused values, posteriors, accuracies — are
+	// bit-identical for every value of Workers: each object/example
+	// owns its output slot, and gradient application stays ordered.
+	// The scalar diagnostics LogLikelihood and ExpectedLogLoss reduce
+	// over chunked partial sums, so they are bit-identical across all
+	// Workers > 1 but may differ from Workers == 1 by float
+	// reassociation noise (well under 1e-12).
+	Workers int
 }
 
 // DefaultOptions returns the configuration used across the experiment
@@ -468,37 +483,70 @@ func (m *Model) Infer(known data.TruthMap) (*Result, error) {
 }
 
 func (m *Model) inferExact(known data.TruthMap) *Result {
+	nObj := m.ds.NumObjects()
 	res := &Result{
-		Values:           make(map[data.ObjectID]data.ValueID, m.ds.NumObjects()),
-		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, m.ds.NumObjects()),
+		Values:           make(map[data.ObjectID]data.ValueID, nObj),
+		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, nObj),
 		SourceAccuracies: m.SourceAccuracies(),
 	}
-	var buf []float64
-	for o := 0; o < m.ds.NumObjects(); o++ {
-		oid := data.ObjectID(o)
-		if v, ok := known[oid]; ok {
-			res.Values[oid] = v
-			res.Posteriors[oid] = map[data.ValueID]float64{v: 1}
-			continue
-		}
-		scores, dom := m.objectScores(oid, buf)
-		buf = scores
-		if len(dom) == 0 {
-			continue
-		}
-		probs := mathx.Softmax(scores, nil)
-		post := make(map[data.ValueID]float64, len(dom))
-		best, bestP := dom[0], probs[0]
-		for i, v := range dom {
-			post[v] = probs[i]
-			if probs[i] > bestP {
-				best, bestP = v, probs[i]
+	// Per-object outcomes are scored into index-owned slots (possibly
+	// concurrently — the model and known map are only read), then
+	// assembled into the result maps in object order. The posteriors
+	// are bit-identical for any worker count: each object's softmax is
+	// independent of the chunking.
+	type outcome struct {
+		ok   bool
+		best data.ValueID
+		post map[data.ValueID]float64
+	}
+	outs := make([]outcome, nObj)
+	parallel.Do(nObj, m.workers(), func(ch parallel.Chunk) {
+		var buf []float64
+		for o := ch.Lo; o < ch.Hi; o++ {
+			oid := data.ObjectID(o)
+			if v, ok := known[oid]; ok {
+				outs[o] = outcome{true, v, map[data.ValueID]float64{v: 1}}
+				continue
 			}
+			scores, dom := m.objectScores(oid, buf)
+			buf = scores
+			if len(dom) == 0 {
+				continue
+			}
+			probs := mathx.Softmax(scores, nil)
+			post := make(map[data.ValueID]float64, len(dom))
+			best, bestP := dom[0], probs[0]
+			for i, v := range dom {
+				post[v] = probs[i]
+				if probs[i] > bestP {
+					best, bestP = v, probs[i]
+				}
+			}
+			outs[o] = outcome{true, best, post}
 		}
-		res.Values[oid] = best
-		res.Posteriors[oid] = post
+	})
+	for o := range outs {
+		if !outs[o].ok {
+			continue
+		}
+		oid := data.ObjectID(o)
+		res.Values[oid] = outs[o].best
+		res.Posteriors[oid] = outs[o].post
 	}
 	return res
+}
+
+// workers resolves the effective worker count for the parallel paths.
+func (m *Model) workers() int { return parallel.Resolve(m.opts.Workers) }
+
+// optimCfg returns the SGD configuration with the model's parallelism
+// knob inherited when the optimizer's own Workers is unset.
+func (m *Model) optimCfg() optim.Config {
+	cfg := m.opts.Optim
+	if cfg.Workers == 0 {
+		cfg.Workers = m.opts.Workers
+	}
+	return cfg
 }
 
 // inferGibbs compiles the current model into a factor graph and runs

@@ -120,7 +120,10 @@ func TestExperimentRegistry(t *testing.T) {
 }
 
 // TestAllExperimentsRunQuick smoke-tests every registered experiment in
-// quick mode: they must complete and emit non-trivial output.
+// quick mode: they must complete and emit non-trivial output. The
+// subtests run concurrently — experiments are independent and the
+// dataset cache is shared safely — so the suite's wall-clock scales
+// with cores.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite in -short mode")
@@ -129,6 +132,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
 			var buf bytes.Buffer
 			if err := e.Run(&buf, cfg); err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
@@ -137,6 +141,29 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				t.Errorf("%s produced almost no output: %q", e.ID, buf.String())
 			}
 		})
+	}
+}
+
+// TestShortTierEndToEnd keeps one small end-to-end experiment in the
+// -short tier: Table 1 renders from the calibrated datasets, and one
+// full SLiMFast trial (compile, auto-decide, learn, infer, score) runs
+// on the quick instance. Everything heavier lives behind the full
+// tier (TestAllExperimentsRunQuick).
+func TestShortTierEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable1(&buf, QuickConfig()); err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	if !strings.Contains(buf.String(), "# Sources") {
+		t.Errorf("table1 output incomplete:\n%s", buf.String())
+	}
+	inst := quickInstance(t)
+	tr, err := RunTrial(NewSLiMFast(), inst, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ObjAccuracy < 0.7 {
+		t.Errorf("end-to-end trial accuracy %v too low", tr.ObjAccuracy)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"slimfast/internal/core"
 	"slimfast/internal/data"
 	"slimfast/internal/metrics"
+	"slimfast/internal/parallel"
 	"slimfast/internal/randx"
 )
 
@@ -56,6 +57,56 @@ func newTab(w io.Writer) *tabwriter.Writer {
 	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 }
 
+// tableCell is one precomputed (dataset, fraction, method) entry of a
+// paper table. The heavy tables compute their cells concurrently and
+// render them in paper order afterwards, so the output is byte-for-byte
+// deterministic while the wall-clock scales with cores.
+type tableCell struct {
+	dataset string
+	frac    float64
+	method  baselines.Method
+	trial   Trial
+	err     error
+}
+
+// computeTableCells fans the (dataset × fraction × method) grid out
+// over up to workers goroutines (<= 0 means GOMAXPROCS; pass 1 for
+// tables that report wall-clock, where concurrent neighbors would
+// inflate the timings). Dataset loading happens up front on one
+// goroutine (generation is cached and memory-heavy); each cell then
+// runs its trials on a fresh method instance, replicating seeds
+// serially — the cell grid is the parallel axis, so nesting a second
+// fan-out inside each cell would only multiply peak memory. Cells come
+// back in grid order: dataset-major, then fraction, then method.
+func computeTableCells(cfg Config, names []string, fracs []float64, methods func() []baselines.Method, workers int) ([]tableCell, error) {
+	var cells []tableCell
+	for _, name := range names {
+		if _, err := cfg.LoadDataset(name); err != nil {
+			return nil, err
+		}
+		for _, frac := range fracs {
+			for _, m := range methods() {
+				cells = append(cells, tableCell{dataset: name, frac: frac, method: m})
+			}
+		}
+	}
+	parallel.For(len(cells), workers, func(i int) {
+		c := &cells[i]
+		inst, err := cfg.LoadDataset(c.dataset) // cache hit
+		if err != nil {
+			c.err = err
+			return
+		}
+		trials, err := RunSeeds(c.method, inst, c.frac, cfg.Seeds, 1)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.trial = averageTrials(trials)
+	})
+	return cells, nil
+}
+
 // RunTable1 prints Table 1: the statistics of the four (simulated)
 // datasets.
 func RunTable1(w io.Writer, cfg Config) error {
@@ -99,6 +150,10 @@ func RunTable1(w io.Writer, cfg Config) error {
 func RunTable2(w io.Writer, cfg Config) error {
 	methods := Table2Methods()
 	fracs := cfg.TrainFractions()
+	cells, err := computeTableCells(cfg, cfg.DatasetNames(), fracs, Table2Methods, 0)
+	if err != nil {
+		return err
+	}
 	tw := newTab(w)
 	fmt.Fprint(tw, "Panel A\nDataset\tTD(%)")
 	for _, m := range methods {
@@ -108,23 +163,21 @@ func RunTable2(w io.Writer, cfg Config) error {
 
 	// accByMethod[method][i-th config] for Panel B.
 	accByMethod := map[string][]float64{}
+	idx := 0
 	for _, name := range cfg.DatasetNames() {
-		inst, err := cfg.LoadDataset(name)
-		if err != nil {
-			return err
-		}
 		for _, frac := range fracs {
 			fmt.Fprintf(tw, "%s\t%.1f", name, frac*100)
-			for _, m := range methods {
-				tr, err := RunAveraged(m, inst, frac, cfg.Seeds)
-				if err != nil {
+			for range methods {
+				c := cells[idx]
+				idx++
+				if c.err != nil {
 					// Counts cannot run without ground truth; mark
 					// unavailable cells instead of failing the table.
 					fmt.Fprint(tw, "\t-")
 					continue
 				}
-				fmt.Fprintf(tw, "\t%.3f", tr.ObjAccuracy)
-				accByMethod[m.Name()] = append(accByMethod[m.Name()], tr.ObjAccuracy)
+				fmt.Fprintf(tw, "\t%.3f", c.trial.ObjAccuracy)
+				accByMethod[c.method.Name()] = append(accByMethod[c.method.Name()], c.trial.ObjAccuracy)
 			}
 			fmt.Fprintln(tw)
 		}
@@ -149,26 +202,28 @@ func RunTable3(w io.Writer, cfg Config) error {
 	if cfg.Quick {
 		names = []string{"stocks", "crowd"}
 	}
+	cells, err := computeTableCells(cfg, names, cfg.TrainFractions(), Table3Methods, 0)
+	if err != nil {
+		return err
+	}
 	tw := newTab(w)
 	fmt.Fprint(tw, "Dataset\tTD(%)")
 	for _, m := range methods {
 		fmt.Fprintf(tw, "\t%s", m.Name())
 	}
 	fmt.Fprintln(tw)
+	idx := 0
 	for _, name := range names {
-		inst, err := cfg.LoadDataset(name)
-		if err != nil {
-			return err
-		}
 		for _, frac := range cfg.TrainFractions() {
 			fmt.Fprintf(tw, "%s\t%.1f", name, frac*100)
-			for _, m := range methods {
-				tr, err := RunAveraged(m, inst, frac, cfg.Seeds)
-				if err != nil || tr.SourceError < 0 {
+			for range methods {
+				c := cells[idx]
+				idx++
+				if c.err != nil || c.trial.SourceError < 0 {
 					fmt.Fprint(tw, "\t-")
 					continue
 				}
-				fmt.Fprintf(tw, "\t%.3f", tr.SourceError)
+				fmt.Fprintf(tw, "\t%.3f", c.trial.SourceError)
 			}
 			fmt.Fprintln(tw)
 		}
@@ -179,41 +234,68 @@ func RunTable3(w io.Writer, cfg Config) error {
 // RunTable4 prints Table 4: SLiMFast-ERM vs SLiMFast-EM accuracy, the
 // optimizer's decision, and whether the decision matched the winner.
 func RunTable4(w io.Writer, cfg Config) error {
-	tw := newTab(w)
-	fmt.Fprintln(tw, "Dataset\tTD(%)\tDecision\tCorrect\tDiff(%)\tSLiMFast-ERM\tSLiMFast-EM")
-	correctCount, total := 0, 0
+	type row struct {
+		dataset  string
+		frac     float64
+		erm, em  Trial
+		decision core.Decision
+		err      error
+	}
+	var rows []row
 	for _, name := range cfg.DatasetNames() {
-		inst, err := cfg.LoadDataset(name)
-		if err != nil {
+		if _, err := cfg.LoadDataset(name); err != nil {
 			return err
 		}
 		for _, frac := range cfg.TrainFractions() {
-			erm, err := RunAveraged(NewSLiMFastERM(), inst, frac, cfg.Seeds)
-			if err != nil {
-				return err
-			}
-			em, err := RunAveraged(NewSLiMFastEM(), inst, frac, cfg.Seeds)
-			if err != nil {
-				return err
-			}
-			// The optimizer's decision on the first seed's split.
-			splitSeed := randx.DeriveSeed(cfg.Seeds[0], fmt.Sprintf("split:%v", frac))
-			train, _ := data.Split(inst.Gold, frac, randx.New(splitSeed))
-			dec := core.Decide(inst.Dataset, train, core.DefaultOptimizerOptions())
-
-			winner := core.AlgorithmERM
-			if em.ObjAccuracy > erm.ObjAccuracy {
-				winner = core.AlgorithmEM
-			}
-			diff := 100 * absFloat(erm.ObjAccuracy-em.ObjAccuracy)
-			correct := dec.Algorithm == winner || diff < 1.0 // ties count as correct
-			if correct {
-				correctCount++
-			}
-			total++
-			fmt.Fprintf(tw, "%s\t%.1f\t%s\t%v\t%.1f\t%.3f\t%.3f\n",
-				name, frac*100, dec.Algorithm, correct, diff, erm.ObjAccuracy, em.ObjAccuracy)
+			rows = append(rows, row{dataset: name, frac: frac})
 		}
+	}
+	parallel.For(len(rows), 0, func(i int) {
+		r := &rows[i]
+		inst, err := cfg.LoadDataset(r.dataset) // cache hit
+		if err != nil {
+			r.err = err
+			return
+		}
+		// Rows are the parallel axis; replicate seeds serially inside.
+		avg := func(m baselines.Method) (Trial, error) {
+			trials, err := RunSeeds(m, inst, r.frac, cfg.Seeds, 1)
+			if err != nil {
+				return Trial{}, err
+			}
+			return averageTrials(trials), nil
+		}
+		if r.erm, r.err = avg(NewSLiMFastERM()); r.err != nil {
+			return
+		}
+		if r.em, r.err = avg(NewSLiMFastEM()); r.err != nil {
+			return
+		}
+		// The optimizer's decision on the first seed's split.
+		splitSeed := randx.DeriveSeed(cfg.Seeds[0], fmt.Sprintf("split:%v", r.frac))
+		train, _ := data.Split(inst.Gold, r.frac, randx.New(splitSeed))
+		r.decision = core.Decide(inst.Dataset, train, core.DefaultOptimizerOptions())
+	})
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Dataset\tTD(%)\tDecision\tCorrect\tDiff(%)\tSLiMFast-ERM\tSLiMFast-EM")
+	correctCount, total := 0, 0
+	for _, r := range rows {
+		if r.err != nil {
+			return r.err
+		}
+		winner := core.AlgorithmERM
+		if r.em.ObjAccuracy > r.erm.ObjAccuracy {
+			winner = core.AlgorithmEM
+		}
+		diff := 100 * absFloat(r.erm.ObjAccuracy-r.em.ObjAccuracy)
+		correct := r.decision.Algorithm == winner || diff < 1.0 // ties count as correct
+		if correct {
+			correctCount++
+		}
+		total++
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%v\t%.1f\t%.3f\t%.3f\n",
+			r.dataset, r.frac*100, r.decision.Algorithm, correct, diff,
+			r.erm.ObjAccuracy, r.em.ObjAccuracy)
 	}
 	fmt.Fprintf(tw, "Optimizer correct: %d/%d\n", correctCount, total)
 	return tw.Flush()
@@ -229,20 +311,24 @@ func RunTable5(w io.Writer, cfg Config) error {
 		fmt.Fprintf(tw, "\t%s", m.Name())
 	}
 	fmt.Fprintln(tw, "\t(seconds)")
+	// Table 5 reports wall-clock per method: time the cells one at a
+	// time so concurrent neighbors don't inflate the comparison.
+	cells, err := computeTableCells(cfg, cfg.DatasetNames(), cfg.TrainFractions(), Table2Methods, 1)
+	if err != nil {
+		return err
+	}
+	idx := 0
 	for _, name := range cfg.DatasetNames() {
-		inst, err := cfg.LoadDataset(name)
-		if err != nil {
-			return err
-		}
 		for _, frac := range cfg.TrainFractions() {
 			fmt.Fprintf(tw, "%s\t%.1f", name, frac*100)
-			for _, m := range methods {
-				tr, err := RunAveraged(m, inst, frac, cfg.Seeds)
-				if err != nil {
+			for range methods {
+				c := cells[idx]
+				idx++
+				if c.err != nil {
 					fmt.Fprint(tw, "\t-")
 					continue
 				}
-				fmt.Fprintf(tw, "\t%.3f", tr.Runtime.Seconds())
+				fmt.Fprintf(tw, "\t%.3f", c.trial.Runtime.Seconds())
 			}
 			fmt.Fprintln(tw)
 		}

@@ -8,6 +8,7 @@ import (
 	"slimfast/internal/baselines"
 	"slimfast/internal/data"
 	"slimfast/internal/metrics"
+	"slimfast/internal/parallel"
 	"slimfast/internal/randx"
 	"slimfast/internal/synth"
 )
@@ -60,36 +61,94 @@ func RunTrial(m baselines.Method, inst *synth.Instance, trainFrac float64, seed 
 	return t, nil
 }
 
-// RunAveraged repeats RunTrial over the seeds and returns the mean
-// trial (accuracy, source error and runtime averaged; the decision of
-// the first seed is kept).
+// Cloner is implemented by methods whose Fuse mutates receiver state
+// (e.g. the SLiMFast variants record timing and decision diagnostics).
+// RunSeeds hands each concurrent trial its own clone; methods without
+// a Clone are assumed to have a read-only Fuse (all baselines are
+// plain configuration structs) and are shared across trials.
+type Cloner interface {
+	Clone() baselines.Method
+}
+
+// cloneFor returns an independent copy of m for a concurrent trial
+// when the method requires one.
+func cloneFor(m baselines.Method) baselines.Method {
+	if c, ok := m.(Cloner); ok {
+		return c.Clone()
+	}
+	return m
+}
+
+// RunSeeds repeats RunTrial once per seed, fanning the independent
+// trials over up to workers goroutines (workers <= 0 means
+// runtime.GOMAXPROCS(0)), and returns the trials in seed order. The
+// trial quality numbers are deterministic: every seed's split and run
+// depend only on the seed, never on scheduling. Seed 0 runs on m
+// itself so callers can read post-run diagnostics from it; later seeds
+// run on clones when m implements Cloner. The first error in seed
+// order is returned alongside its trial.
+func RunSeeds(m baselines.Method, inst *synth.Instance, trainFrac float64, seeds []int64, workers int) ([]Trial, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("eval: no seeds")
+	}
+	// Clone up front, before any trial can mutate m: cloning inside the
+	// parallel region would read m's diagnostic fields while the seed-0
+	// trial writes them.
+	methods := make([]baselines.Method, len(seeds))
+	for i := range methods {
+		if i == 0 {
+			methods[i] = m
+			continue
+		}
+		methods[i] = cloneFor(m)
+	}
+	trials := make([]Trial, len(seeds))
+	errs := make([]error, len(seeds))
+	parallel.For(len(seeds), workers, func(i int) {
+		trials[i], errs[i] = RunTrial(methods[i], inst, trainFrac, seeds[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return trials, fmt.Errorf("seed %d: %w", seeds[i], err)
+		}
+	}
+	return trials, nil
+}
+
+// RunAveraged repeats RunTrial over the seeds — concurrently, up to
+// GOMAXPROCS trials at a time — and returns the mean trial (accuracy,
+// source error and runtime averaged; the decision of the first seed is
+// kept).
 func RunAveraged(m baselines.Method, inst *synth.Instance, trainFrac float64, seeds []int64) (Trial, error) {
 	if len(seeds) == 0 {
 		return Trial{}, fmt.Errorf("eval: no seeds")
 	}
-	var accs, errs []float64
+	trials, err := RunSeeds(m, inst, trainFrac, seeds, 0)
+	if err != nil {
+		return trials[0], err
+	}
+	return averageTrials(trials), nil
+}
+
+// averageTrials folds per-seed trials into the mean trial, keeping the
+// first seed's identity and decision.
+func averageTrials(trials []Trial) Trial {
+	var accs, errVals []float64
 	var total time.Duration
-	var first Trial
-	for i, seed := range seeds {
-		tr, err := RunTrial(m, inst, trainFrac, seed)
-		if err != nil {
-			return tr, err
-		}
-		if i == 0 {
-			first = tr
-		}
+	first := trials[0]
+	for _, tr := range trials {
 		accs = append(accs, tr.ObjAccuracy)
 		if tr.SourceError >= 0 {
-			errs = append(errs, tr.SourceError)
+			errVals = append(errVals, tr.SourceError)
 		}
 		total += tr.Runtime
 	}
 	first.ObjAccuracy = metrics.Mean(accs)
-	if len(errs) > 0 {
-		first.SourceError = metrics.Mean(errs)
+	if len(errVals) > 0 {
+		first.SourceError = metrics.Mean(errVals)
 	}
-	first.Runtime = total / time.Duration(len(seeds))
-	return first, nil
+	first.Runtime = total / time.Duration(len(trials))
+	return first
 }
 
 // Config controls how heavy the experiment runs are. Quick mode shrinks

@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"testing"
+
+	"slimfast/internal/baselines"
+)
+
+// TestRunSeedsDeterministicAcrossWorkers checks the harness half of
+// the determinism contract: concurrent trial replication must produce
+// the same quality numbers as serial replication, in the same seed
+// order.
+func TestRunSeedsRejectsEmptySeeds(t *testing.T) {
+	inst := quickInstance(t)
+	if _, err := RunSeeds(NewSourcesERM(), inst, 0.1, nil, 4); err == nil {
+		t.Error("empty seeds should error, not panic downstream averaging")
+	}
+}
+
+func TestRunSeedsDeterministicAcrossWorkers(t *testing.T) {
+	inst := quickInstance(t)
+	seeds := []int64{1, 2, 3, 4}
+	serial, err := RunSeeds(NewSLiMFastERM(), inst, 0.1, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := RunSeeds(NewSLiMFastERM(), inst, 0.1, seeds, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seeds {
+			if par[i].Seed != serial[i].Seed {
+				t.Fatalf("workers=%d: trial %d has seed %d, want %d", workers, i, par[i].Seed, serial[i].Seed)
+			}
+			if par[i].ObjAccuracy != serial[i].ObjAccuracy {
+				t.Fatalf("workers=%d seed=%d: accuracy %v vs %v",
+					workers, seeds[i], par[i].ObjAccuracy, serial[i].ObjAccuracy)
+			}
+			if par[i].SourceError != serial[i].SourceError {
+				t.Fatalf("workers=%d seed=%d: source error %v vs %v",
+					workers, seeds[i], par[i].SourceError, serial[i].SourceError)
+			}
+		}
+	}
+}
+
+// TestRunAveragedMatchesManualAverage pins RunAveraged's parallel path
+// to the serial per-seed trials it is averaging.
+func TestRunAveragedMatchesManualAverage(t *testing.T) {
+	inst := quickInstance(t)
+	seeds := []int64{5, 6, 7}
+	trials, err := RunSeeds(NewSourcesERM(), inst, 0.1, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantAcc float64
+	for _, tr := range trials {
+		wantAcc += tr.ObjAccuracy
+	}
+	wantAcc /= float64(len(seeds))
+	avg, err := RunAveraged(NewSourcesERM(), inst, 0.1, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.ObjAccuracy != wantAcc {
+		t.Errorf("averaged accuracy %v, want %v", avg.ObjAccuracy, wantAcc)
+	}
+	if avg.Seed != seeds[0] {
+		t.Errorf("averaged trial should keep the first seed, got %d", avg.Seed)
+	}
+}
+
+// TestSLiMFastClone checks clones are independent: fusing with a clone
+// must not touch the original's diagnostics.
+func TestSLiMFastClone(t *testing.T) {
+	inst := quickInstance(t)
+	orig := NewSLiMFast()
+	c, ok := interface{}(orig).(Cloner)
+	if !ok {
+		t.Fatal("SLiMFast must implement Cloner")
+	}
+	clone := c.Clone().(*SLiMFast)
+	if _, err := RunTrial(clone, inst, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if clone.LastLearnTime <= 0 {
+		t.Error("clone should record its own diagnostics")
+	}
+	if orig.LastLearnTime != 0 || orig.LastCompileTime != 0 {
+		t.Error("fusing a clone must not mutate the original")
+	}
+	if clone.Name() != orig.Name() {
+		t.Error("clone should keep the label")
+	}
+}
+
+// TestBaselinesShareSafely documents the no-Clone contract: baseline
+// methods are plain configuration structs, so concurrent RunSeeds may
+// share them. Run under -race this proves the assumption.
+func TestBaselinesShareSafely(t *testing.T) {
+	inst := quickInstance(t)
+	for _, m := range []baselines.Method{
+		baselines.NewCounts(), baselines.NewACCU(), baselines.NewCATD(),
+		baselines.NewSSTF(), baselines.MajorityVote{},
+	} {
+		if _, ok := m.(Cloner); ok {
+			continue // clones are used instead of sharing
+		}
+		if _, err := RunSeeds(m, inst, 0.2, []int64{1, 2, 3, 4}, 4); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+	}
+}

@@ -125,6 +125,15 @@ func (s *SLiMFast) WithLabel(label string) *SLiMFast {
 // Options returns a copy of the current model options.
 func (s *SLiMFast) Options() core.Options { return s.opts }
 
+// Clone implements Cloner: concurrent trials each get an independent
+// copy so the Last* diagnostic fields never race. The options structs
+// are value types (the ObjectClasses slice, when set, is shared but
+// read-only).
+func (s *SLiMFast) Clone() baselines.Method {
+	c := *s
+	return &c
+}
+
 // Name implements Method.
 func (s *SLiMFast) Name() string { return s.label }
 

@@ -1,0 +1,161 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+// quadProblem is a strongly-convex test objective with minimum zero:
+// example i pulls coordinates i%d and (i+1)%d toward per-coordinate
+// targets, so neighbouring examples overlap and the merge order
+// matters for exercising determinism.
+func quadProblem(d int) (n int, grad GradFunc, loss func(w []float64) float64) {
+	n = 4 * d
+	target := func(j int) float64 { return math.Sin(float64(j) + 1) }
+	grad = func(i int, w []float64, g *Sparse) {
+		j1, j2 := i%d, (i+1)%d
+		g.Add(j1, w[j1]-target(j1))
+		g.Add(j2, 0.5*(w[j2]-target(j2)))
+	}
+	loss = func(w []float64) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			j1, j2 := i%d, (i+1)%d
+			s += 0.5*(w[j1]-target(j1))*(w[j1]-target(j1)) + 0.25*(w[j2]-target(j2))*(w[j2]-target(j2))
+		}
+		return s / float64(n)
+	}
+	return n, grad, loss
+}
+
+func minibatchConfig(method Method, batch, workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Method = method
+	cfg.Epochs = 30
+	cfg.Tolerance = 0 // run all epochs so trajectories are comparable
+	cfg.Batch = batch
+	cfg.Workers = workers
+	return cfg
+}
+
+// TestMinibatchDeterministicAcrossWorkers is the optimizer's half of
+// the determinism contract: with a fixed Batch, the trajectory must be
+// bit-identical for every worker count (shards are merged in
+// batch-position order before the single applier runs).
+func TestMinibatchDeterministicAcrossWorkers(t *testing.T) {
+	for _, method := range []Method{SGD, AdaGrad} {
+		for _, batch := range []int{2, 8, 1000} {
+			n, grad, _ := quadProblem(25)
+			ref := make([]float64, 25)
+			refRes, err := Minimize(n, ref, grad, minibatchConfig(method, batch, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				w := make([]float64, 25)
+				res, err := Minimize(n, w, grad, minibatchConfig(method, batch, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res != refRes {
+					t.Fatalf("method=%v batch=%d workers=%d: run stats differ: %+v vs %+v",
+						method, batch, workers, res, refRes)
+				}
+				for j := range w {
+					if w[j] != ref[j] {
+						t.Fatalf("method=%v batch=%d workers=%d: w[%d] = %v vs %v",
+							method, batch, workers, j, w[j], ref[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMinibatchConverges(t *testing.T) {
+	n, grad, loss := quadProblem(25)
+	w := make([]float64, 25)
+	start := loss(w)
+	cfg := minibatchConfig(SGD, 8, 4)
+	cfg.Epochs = 100
+	if _, err := Minimize(n, w, grad, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if end := loss(w); end > start/10 {
+		t.Errorf("minibatch mode failed to optimize: loss %v -> %v", start, end)
+	}
+}
+
+func TestMinibatchRegularization(t *testing.T) {
+	// L2 shrinks weights; L1 produces exact zeros on no-signal coords.
+	n, grad, _ := quadProblem(10)
+	plain := make([]float64, 10)
+	if _, err := Minimize(n, plain, grad, minibatchConfig(SGD, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := minibatchConfig(SGD, 4, 2)
+	cfg.L2 = 1.0
+	ridge := make([]float64, 10)
+	if _, err := Minimize(n, ridge, grad, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var normPlain, normRidge float64
+	for j := range plain {
+		normPlain += plain[j] * plain[j]
+		normRidge += ridge[j] * ridge[j]
+	}
+	if normRidge >= normPlain {
+		t.Errorf("L2 should shrink weights: %v vs %v", normRidge, normPlain)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Batch should be rejected")
+	}
+	// Batch larger than n degrades to full-batch gradient descent,
+	// which should reach a stationary point: the mean gradient
+	// vanishes.
+	n, grad, _ := quadProblem(5)
+	w := make([]float64, 5)
+	cfg = minibatchConfig(SGD, 10*n, 4)
+	cfg.Epochs = 500
+	if _, err := Minimize(n, w, grad, cfg); err != nil {
+		t.Fatal(err)
+	}
+	full := make([]float64, 5)
+	for i := 0; i < n; i++ {
+		g := NewSparse()
+		grad(i, w, g)
+		g.Dense(full)
+	}
+	for j := range full {
+		if math.Abs(full[j])/float64(n) > 0.02 {
+			t.Errorf("full-batch mode not stationary: mean grad[%d] = %v", j, full[j]/float64(n))
+		}
+	}
+}
+
+func TestSerialPathUnaffectedByWorkers(t *testing.T) {
+	// Batch <= 1 must ignore Workers entirely: same trajectory as the
+	// legacy config.
+	n, grad, _ := quadProblem(12)
+	a := make([]float64, 12)
+	cfgA := DefaultConfig()
+	if _, err := Minimize(n, a, grad, cfgA); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 12)
+	cfgB := DefaultConfig()
+	cfgB.Workers = 8
+	if _, err := Minimize(n, b, grad, cfgB); err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("Workers changed the serial trajectory at coord %d", j)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package parallel provides the small worker-pool primitives that
+// SLiMFast's hot paths (the EM E-step, exact inference, per-example
+// gradient shards, experiment replication) use to scale with cores
+// while staying deterministic.
+//
+// Determinism is the design constraint. The side-effect runners (Do,
+// For, DoErr) require callbacks to write only index-owned slots, so
+// their results are bit-identical for any worker count regardless of
+// chunking — which frees their layout to adapt to the worker count
+// (at least one chunk per worker, ~chunkTarget-wide chunks on large
+// index spaces). The ordered reductions (MapChunks, Sum) instead fix
+// their chunk boundaries as a function of the problem size alone and
+// combine per-chunk results in chunk order, so floating-point
+// reductions are bit-identical for any worker count > 1 (and within
+// rounding noise of the single-stream serial order).
+//
+// Workers <= 0 means runtime.GOMAXPROCS(0). Workers == 1 runs inline
+// on the calling goroutine with no pool overhead, preserving the exact
+// legacy serial behavior of the call site.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a user-facing worker count to an effective one:
+// anything <= 0 selects runtime.GOMAXPROCS(0).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Chunk is a half-open index range [Lo, Hi).
+type Chunk struct{ Lo, Hi int }
+
+// Len returns the number of indices in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// chunkTarget is the partition width the primitives aim for when
+// running in parallel over fine-grained index spaces (objects,
+// examples). Reduction layouts derive their boundaries only from n and
+// this constant, so reductions associate identically no matter how
+// many workers drain the chunk queue.
+const chunkTarget = 64
+
+// Split partitions [0, n) into at most parts contiguous near-equal
+// chunks (fewer when n < parts). parts <= 0 yields a single chunk.
+func Split(n, parts int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if parts <= 1 || n == 1 {
+		return []Chunk{{0, n}}
+	}
+	if parts > n {
+		parts = n
+	}
+	chunks := make([]Chunk, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if lo < hi {
+			chunks = append(chunks, Chunk{lo, hi})
+		}
+	}
+	return chunks
+}
+
+// scatterLayout chunks [0, n) for the side-effect runners (Do, For,
+// DoErr), whose callbacks write index-owned slots: chunk boundaries
+// cannot influence results there, so the layout is free to adapt to
+// the worker count. It guarantees at least one chunk per worker (so a
+// 4-seed replication with 4 workers actually fans out) while keeping
+// chunks at most ~chunkTarget wide on large index spaces for load
+// balancing. One worker gets the single serial chunk.
+func scatterLayout(n, workers int) []Chunk {
+	w := Resolve(workers)
+	if w <= 1 {
+		return Split(n, 1)
+	}
+	parts := (n + chunkTarget - 1) / chunkTarget
+	if parts < w {
+		parts = w
+	}
+	return Split(n, parts)
+}
+
+// reduceLayout chunks [0, n) for the ordered reductions (MapChunks,
+// Sum): boundaries depend only on n, never on the worker count, so the
+// reduction associates identically for every workers > 1. One worker
+// gets the single serial chunk — the exact legacy summation order.
+func reduceLayout(n, workers int) []Chunk {
+	if Resolve(workers) <= 1 {
+		return Split(n, 1)
+	}
+	parts := (n + chunkTarget - 1) / chunkTarget
+	return Split(n, parts)
+}
+
+// run drains the chunk list with up to workers goroutines, calling
+// fn(chunkIndex, chunk) for each. With one worker (or one chunk) it
+// runs inline. The per-chunk errors are collected and the error of the
+// lowest-indexed failing chunk is returned, so the reported error does
+// not depend on scheduling. A canceled ctx stops workers from starting
+// new chunks and is reported as ctx.Err() when no chunk failed first.
+func run(ctx context.Context, chunks []Chunk, workers int, fn func(c int, ch Chunk) error) error {
+	if len(chunks) == 0 {
+		return nil
+	}
+	w := Resolve(workers)
+	if w > len(chunks) {
+		w = len(chunks)
+	}
+	if w <= 1 {
+		for c, ch := range chunks {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := fn(c, ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(chunks))
+	next := make(chan int)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				if ctx != nil && ctx.Err() != nil {
+					errs[c] = ctx.Err()
+					continue
+				}
+				errs[c] = fn(c, chunks[c])
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for c := range chunks {
+			select {
+			case next <- c:
+			case <-done:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do runs fn over the deterministic chunking of [0, n) with up to
+// workers goroutines. fn must only write state owned by indices inside
+// its chunk. With workers resolving to 1 the single chunk [0, n) runs
+// inline — the exact legacy serial path.
+func Do(n, workers int, fn func(ch Chunk)) {
+	_ = run(nil, scatterLayout(n, workers), workers, func(_ int, ch Chunk) error {
+		fn(ch)
+		return nil
+	})
+}
+
+// DoErr is Do with error propagation and context cancellation: the
+// first error (by chunk index) is returned, and a canceled ctx stops
+// unstarted chunks.
+func DoErr(ctx context.Context, n, workers int, fn func(ch Chunk) error) error {
+	return run(ctx, scatterLayout(n, workers), workers, func(_ int, ch Chunk) error {
+		return fn(ch)
+	})
+}
+
+// For runs fn(i) for every i in [0, n) with up to workers goroutines,
+// chunked as in Do.
+func For(n, workers int, fn func(i int)) {
+	Do(n, workers, func(ch Chunk) {
+		for i := ch.Lo; i < ch.Hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// MapChunks computes fn per chunk and returns the per-chunk results in
+// chunk order — the deterministic ordered reduction the callers fold
+// over.
+func MapChunks[T any](n, workers int, fn func(ch Chunk) T) []T {
+	chunks := reduceLayout(n, workers)
+	out := make([]T, len(chunks))
+	_ = run(nil, chunks, workers, func(c int, ch Chunk) error {
+		out[c] = fn(ch)
+		return nil
+	})
+	return out
+}
+
+// Sum evaluates fn per chunk and adds the partial results in chunk
+// order. Because the chunk layout depends only on n, the result is
+// bit-identical for every workers > 1, and equals the serial
+// single-stream sum when workers resolves to 1.
+func Sum(n, workers int, fn func(ch Chunk) float64) float64 {
+	var total float64
+	for _, part := range MapChunks(n, workers, fn) {
+		total += part
+	}
+	return total
+}

@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Resolve(n); got != n {
+			t.Errorf("Resolve(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestSplitCoversRange(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {5, 2}, {10, 3}, {10, 10}, {10, 50}, {100, 7}, {64, 1}, {3, 0},
+	} {
+		chunks := Split(tc.n, tc.parts)
+		covered := 0
+		prev := 0
+		for _, ch := range chunks {
+			if ch.Lo != prev {
+				t.Fatalf("Split(%d,%d): gap at %d (chunks %v)", tc.n, tc.parts, ch.Lo, chunks)
+			}
+			if ch.Len() <= 0 {
+				t.Fatalf("Split(%d,%d): empty chunk %v", tc.n, tc.parts, ch)
+			}
+			covered += ch.Len()
+			prev = ch.Hi
+		}
+		if covered != tc.n {
+			t.Fatalf("Split(%d,%d) covers %d indices", tc.n, tc.parts, covered)
+		}
+		if tc.parts > 0 && len(chunks) > tc.parts {
+			t.Fatalf("Split(%d,%d) produced %d chunks", tc.n, tc.parts, len(chunks))
+		}
+	}
+}
+
+func TestReduceLayoutIndependentOfWorkerCount(t *testing.T) {
+	// The reduction chunk boundaries must depend only on n so that
+	// ordered reductions are bit-identical for any worker count > 1.
+	for _, n := range []int{1, 63, 64, 65, 1000} {
+		ref := reduceLayout(n, 2)
+		for _, w := range []int{3, 4, 16} {
+			got := reduceLayout(n, w)
+			if len(got) != len(ref) {
+				t.Fatalf("n=%d: layout differs between 2 and %d workers", n, w)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("n=%d chunk %d: %v vs %v", n, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+	// Workers==1 must be the single serial chunk.
+	if got := reduceLayout(1000, 1); len(got) != 1 || got[0] != (Chunk{0, 1000}) {
+		t.Fatalf("reduceLayout(1000, 1) = %v, want one full chunk", got)
+	}
+}
+
+func TestScatterLayoutFansOutSmallN(t *testing.T) {
+	// Coarse-grained loops (a handful of seeds or table rows) must
+	// still get one chunk per worker, or the fan-out is a no-op.
+	for _, tc := range []struct{ n, workers, wantChunks int }{
+		{4, 4, 4},     // seed replication
+		{3, 8, 3},     // fewer items than workers
+		{28, 4, 4},    // quick-mode table cells
+		{32, 4, 4},    // minibatch shards at Batch=32
+		{1000, 4, 16}, // large n falls back to ~chunkTarget width
+	} {
+		got := scatterLayout(tc.n, tc.workers)
+		if len(got) != tc.wantChunks {
+			t.Errorf("scatterLayout(%d, %d) made %d chunks, want %d",
+				tc.n, tc.workers, len(got), tc.wantChunks)
+		}
+	}
+	if got := scatterLayout(1000, 1); len(got) != 1 {
+		t.Errorf("one worker should get the single serial chunk, got %d", len(got))
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 9} {
+		n := 513
+		visits := make([]int32, n)
+		For(n, w, func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
+			}
+		}
+	}
+}
+
+func TestSumDeterministicAcrossWorkers(t *testing.T) {
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)) * 1e-3
+	}
+	chunkSum := func(ch Chunk) float64 {
+		var s float64
+		for i := ch.Lo; i < ch.Hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	serial := Sum(n, 1, chunkSum)
+	ref := Sum(n, 2, chunkSum)
+	for _, w := range []int{2, 3, 8} {
+		for rep := 0; rep < 5; rep++ {
+			if got := Sum(n, w, chunkSum); got != ref {
+				t.Fatalf("workers=%d rep=%d: sum %v != %v", w, rep, got, ref)
+			}
+		}
+	}
+	if math.Abs(serial-ref) > 1e-12 {
+		t.Fatalf("serial %v and chunked %v sums too far apart", serial, ref)
+	}
+}
+
+func TestMapChunksOrdered(t *testing.T) {
+	n := 300
+	parts := MapChunks(n, 4, func(ch Chunk) Chunk { return ch })
+	prev := 0
+	for _, ch := range parts {
+		if ch.Lo != prev {
+			t.Fatalf("chunks out of order: %v", parts)
+		}
+		prev = ch.Hi
+	}
+	if prev != n {
+		t.Fatalf("chunks cover %d of %d", prev, n)
+	}
+}
+
+func TestDoErrReturnsLowestChunkError(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		err := DoErr(context.Background(), 1000, w, func(ch Chunk) error {
+			for i := ch.Lo; i < ch.Hi; i++ {
+				if i >= 128 {
+					return errBoom
+				}
+			}
+			return nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: err = %v, want boom", w, err)
+		}
+	}
+}
+
+func TestDoErrContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	err := DoErr(ctx, 10000, 2, func(ch Chunk) error {
+		if atomic.AddInt32(&started, 1) == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&started); int(n) >= len(scatterLayout(10000, 2)) {
+		t.Errorf("cancellation did not stop chunk dispatch: %d chunks ran", n)
+	}
+}
+
+func TestEmptyRanges(t *testing.T) {
+	called := false
+	Do(0, 4, func(Chunk) { called = true })
+	For(0, 4, func(int) { called = true })
+	if called {
+		t.Error("n=0 should not invoke fn")
+	}
+	if got := Sum(0, 4, func(Chunk) float64 { return 1 }); got != 0 {
+		t.Errorf("Sum over empty range = %v", got)
+	}
+	if err := DoErr(context.Background(), 0, 4, func(Chunk) error { return errors.New("x") }); err != nil {
+		t.Errorf("DoErr over empty range = %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench.sh [output.json] — run the core micro-benchmarks and write a
+# JSON snapshot (name, iterations, ns/op per benchmark plus the host
+# shape) used to track the performance trajectory across PRs.
+set -eu
+
+OUT="${1:-BENCH_1.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' \
+	-bench '^(BenchmarkCoreEMFit|BenchmarkCoreERMFit|BenchmarkCoreExactInference|BenchmarkOptimizerDecide|BenchmarkFacadeSolve)$' \
+	. | tee "$TMP"
+
+{
+	printf '{\n'
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
+	printf '  "benchmarks": [\n'
+	awk '/^Benchmark/ {
+		printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", sep, $1, $2, $3
+		sep = ",\n"
+	} END { print "" }' "$TMP"
+	printf '  ]\n'
+	printf '}\n'
+} > "$OUT"
+echo "wrote $OUT"

@@ -92,6 +92,16 @@ func WithSeed(seed int64) Option {
 	return func(c *solveConfig) { c.opts.Optim.Seed = seed }
 }
 
+// WithParallelism bounds the worker goroutines used by learning and
+// inference. n <= 0 selects runtime.GOMAXPROCS(0), the default; n == 1
+// runs everything on the calling goroutine, the exact legacy serial
+// path. The parallel subsystem is deterministic by construction, so
+// Solve returns identical results for every setting — the knob only
+// trades goroutines for wall-clock.
+func WithParallelism(n int) Option {
+	return func(c *solveConfig) { c.opts.Workers = n }
+}
+
 // WithOptimizerThreshold sets τ, the ERM-bound threshold of the EM/ERM
 // optimizer (the paper uses 0.1).
 func WithOptimizerThreshold(tau float64) Option {
