@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-full bench
+.PHONY: build vet test test-full bench benchdiff
 
 ## build: compile every package
 build:
@@ -18,7 +18,12 @@ test: build vet
 test-full:
 	$(GO) test -race ./...
 
-## bench: run the core micro-benchmarks and snapshot them to
-## BENCH_1.json (the perf trajectory seed; bump the number per PR)
+## bench: run the core micro-benchmarks (with -benchmem) and snapshot
+## them to BENCH_2.json (the perf trajectory; bump the number per PR)
 bench:
-	./scripts/bench.sh BENCH_1.json
+	./scripts/bench.sh BENCH_2.json
+
+## benchdiff: fail if BENCH_2.json regresses >10% vs BENCH_1.json in
+## ns/op or allocs/op (see scripts/benchdiff for arbitrary snapshots)
+benchdiff:
+	./scripts/benchdiff BENCH_1.json BENCH_2.json

@@ -167,7 +167,7 @@ func writeValues(path string, stdout io.Writer, ds *data.Dataset, res *core.Resu
 	for _, o := range objects {
 		oid := data.ObjectID(o)
 		v := res.Values[oid]
-		conf := res.Posteriors[oid][v]
+		conf := res.Posterior(oid)[v]
 		rec := []string{ds.ObjectNames[o], ds.ValueNames[v], fmt.Sprintf("%.4f", conf)}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -85,7 +85,7 @@ func run(w io.Writer) error {
 		if !ok {
 			continue
 		}
-		conf := result.Posteriors[oid][v]
+		conf := result.Posterior(oid)[v]
 		if conf > 0.95 {
 			fmt.Fprintf(w, "  %s -> %s (%.2f)\n", ds.ObjectNames[o], ds.ValueNames[v], conf)
 			shown++

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"slimfast/internal/data"
+	"slimfast/internal/optim"
+)
+
+// The allocation-regression tier: the compiled hot-path layout exists
+// so the per-object inner loops do no allocation in steady state (after
+// the scratch buffers have grown to the largest domain). A regression
+// here means a map, domain copy, or closure crept back into the loops.
+
+func allocModel(t *testing.T, opts Options) *Model {
+	t.Helper()
+	inst := goldenInstance(t)
+	m, err := Compile(inst.Dataset, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FitEM(nil); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestObjectScoresZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"default", DefaultOptions()},
+		{"openworld", func() Options {
+			o := DefaultOptions()
+			o.OpenWorld = true
+			o.OpenWorldBias = -1
+			return o
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := allocModel(t, tc.opts)
+			sg := m.sigmaTable()
+			sc := &scratch{}
+			nObj := m.ds.NumObjects()
+			scoreAll := func() {
+				for o := 0; o < nObj; o++ {
+					scores, _ := m.objectScores(data.ObjectID(o), sg, sc.scores)
+					sc.scores = scores
+				}
+			}
+			scoreAll() // warm the scratch to the largest domain
+			if allocs := testing.AllocsPerRun(20, scoreAll); allocs != 0 {
+				t.Errorf("objectScores allocates %.1f times per full pass, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestAccumGradientZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	m := allocModel(t, DefaultOptions())
+	nObj := m.ds.NumObjects()
+	g := optim.NewSparse()
+	sc := &scratch{}
+	tbl := make([]float64, m.numSources*m.numClasses)
+	m.fillSigma(m.w, tbl)
+	// q posteriors for the EM-residual variant, precomputed outside the
+	// measured loop the way FitEM holds them across the M-step.
+	q := make([][]float64, nObj)
+	for o := 0; o < nObj; o++ {
+		scores, _ := m.objectScores(data.ObjectID(o), tbl, nil)
+		q[o] = scores
+	}
+	for _, tc := range []struct {
+		name string
+		run  func()
+	}{
+		// Sequential SGD path: σ recomputed from live weights per step.
+		{"erm-per-step", func() {
+			for o := 0; o < nObj; o++ {
+				dom := m.lay.dom[o]
+				if len(dom) == 0 {
+					continue
+				}
+				g.Reset()
+				m.accumGradient(m.w, g, data.ObjectID(o), dom[0], nil, nil, sc)
+			}
+		}},
+		// Minibatch path: σ read from the frozen-batch table.
+		{"em-sigma-table", func() {
+			for o := 0; o < nObj; o++ {
+				g.Reset()
+				m.accumGradient(m.w, g, data.ObjectID(o), data.None, q[o], tbl, sc)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warm scratch and the sparse accumulator's index map
+			if allocs := testing.AllocsPerRun(20, tc.run); allocs != 0 {
+				t.Errorf("accumGradient allocates %.1f times per full pass, want 0", allocs)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"slimfast/internal/data"
 	"slimfast/internal/mathx"
 	"slimfast/internal/optim"
+	"slimfast/internal/parallel"
 )
 
 // Calibrate refits the source and feature weights so that each source's
@@ -80,6 +81,7 @@ func (m *Model) calibrate(train data.TruthMap, labeledOnly bool) error {
 				for i := 0; i < m.numSources*m.numClasses; i++ {
 					m.w[i] += shift
 				}
+				m.invalidateSigma()
 			}
 		}
 	}
@@ -100,32 +102,44 @@ func (m *Model) calibrate(train data.TruthMap, labeledOnly bool) error {
 // calibrateOnce runs one agreement-count / weight-refit round. The SGD
 // feature-pooling pass only runs on the first round; later rounds do
 // the closed-form per-source step against the sharpened counts.
+//
+// Inference uses the dense slab path (no per-object posterior maps) and
+// the agreement counting fans out over sources: the count slots of
+// source s — srcIdx(s, c) for every class c — are written only by s's
+// task, and each source's observations are visited in global
+// observation order (bySource preserves it), so every slot accumulates
+// the same floats in the same order as the legacy serial sweep and the
+// counts are bit-identical for any worker count.
 func (m *Model) calibrateOnce(train data.TruthMap, fitFeatures, labeledOnly bool) error {
-	res := m.inferExact(train)
+	dr := m.inferDense(train)
 	nS := m.numSources
 	// Per (source, class) counts, flattened the same way as srcIdx.
 	nSC := nS * m.numClasses
 	corr := make([]float64, nSC)
 	tot := make([]float64, nSC)
-	for _, ob := range m.ds.Observations {
-		post, ok := res.Posteriors[ob.Object]
-		if !ok {
-			continue
-		}
-		i := m.srcIdx(ob.Source, m.classOfObject(ob.Object))
-		if truth, labeled := train[ob.Object]; labeled {
-			tot[i]++
-			if ob.Value == truth {
-				corr[i]++
+	parallel.Do(nS, m.workers(), func(ch parallel.Chunk) {
+		for s := ch.Lo; s < ch.Hi; s++ {
+			for _, oi := range m.ds.SourceObservationIndices(data.SourceID(s)) {
+				ob := m.ds.Observations[oi]
+				if dr.state[ob.Object] == objEmpty {
+					continue
+				}
+				i := m.srcIdx(ob.Source, m.classOfObject(ob.Object))
+				if truth, labeled := train[ob.Object]; labeled {
+					tot[i]++
+					if ob.Value == truth {
+						corr[i]++
+					}
+					continue
+				}
+				if labeledOnly {
+					continue
+				}
+				tot[i]++
+				corr[i] += dr.probs[m.lay.scoreStart[ob.Object]+int(m.lay.obsLocal[oi])]
 			}
-			continue
 		}
-		if labeledOnly {
-			continue
-		}
-		tot[i]++
-		corr[i] += post[ob.Value]
-	}
+	})
 	var totMean float64
 	active := 0
 	for i := 0; i < nSC; i++ {
@@ -165,7 +179,9 @@ func (m *Model) calibrateOnce(train data.TruthMap, fitFeatures, labeledOnly bool
 		}
 	}
 	if fitFeatures {
-		if _, err := optim.Minimize(nSC, m.w, grad, cfg); err != nil {
+		_, err := optim.Minimize(nSC, m.w, grad, cfg)
+		m.invalidateSigma()
+		if err != nil {
 			return err
 		}
 	}
@@ -188,5 +204,6 @@ func (m *Model) calibrateOnce(train data.TruthMap, fitFeatures, labeledOnly bool
 		pHat := (corr[i] + priorStrength*prior) / (tot[i] + priorStrength)
 		m.w[i] = mathx.Logit(pHat) - featPart
 	}
+	m.invalidateSigma()
 	return nil
 }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"slimfast/internal/data"
+)
+
+// layout is the compiled hot-path representation of the dataset, built
+// once in Compile. It flattens the per-object observation structure
+// into a CSR-style form so the inner loops of scoring, gradient
+// accumulation and inference index straight into slices instead of
+// rebuilding a map[ValueID]int position index per call:
+//
+//   - observation i of object o lives at global index obsBase[o]+i in
+//     ds.Observations, and obsLocal[obsBase[o]+i] is the local index of
+//     its value inside dom[o];
+//   - dom[o] is the object's scoring domain with the open-world
+//     wildcard (data.None) already appended when Options.OpenWorld is
+//     set, so the hot loops never copy or extend domains;
+//   - scoreStart offsets a single dense slab: object o's score/
+//     posterior vector occupies [scoreStart[o], scoreStart[o+1]) —
+//     the dense posterior path (inferDense) writes there instead of
+//     allocating one map per object per round;
+//   - featIdx is PredictAccuracy's feature-name index, hoisted out of
+//     the per-call path.
+type layout struct {
+	obsBase    []int
+	obsLocal   []int32
+	dom        [][]data.ValueID
+	scoreStart []int
+	featIdx    map[string]data.FeatureID
+}
+
+// localIndex returns the position of v in dom, or -1 when absent. Only
+// used at compile time and on cold paths; the hot loops read the
+// precomputed obsLocal instead.
+func localIndex(dom []data.ValueID, v data.ValueID) int {
+	for i, d := range dom {
+		if d == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildLayout compiles the CSR observation layout, the (open-world
+// extended) domains, the dense-slab offsets and the feature-name index.
+func (m *Model) buildLayout() {
+	ds := m.ds
+	nObj := ds.NumObjects()
+	m.lay.obsBase = make([]int, nObj)
+	m.lay.obsLocal = make([]int32, ds.NumObservations())
+	m.lay.dom = make([][]data.ValueID, nObj)
+	m.lay.scoreStart = make([]int, nObj+1)
+	base := 0
+	for o := 0; o < nObj; o++ {
+		oid := data.ObjectID(o)
+		obs := ds.ObjectObservations(oid)
+		m.lay.obsBase[o] = base
+		dom := ds.Domain(oid)
+		if m.opts.OpenWorld && len(dom) > 0 {
+			ext := make([]data.ValueID, len(dom)+1)
+			copy(ext, dom)
+			ext[len(dom)] = data.None
+			dom = ext
+		}
+		m.lay.dom[o] = dom
+		m.lay.scoreStart[o+1] = m.lay.scoreStart[o] + len(dom)
+		for i, ob := range obs {
+			m.lay.obsLocal[base+i] = int32(localIndex(dom, ob.Value))
+		}
+		base += len(obs)
+	}
+	m.lay.featIdx = make(map[string]data.FeatureID, ds.NumFeatures())
+	for i, n := range ds.FeatureNames {
+		m.lay.featIdx[n] = data.FeatureID(i)
+	}
+}
+
+// fillSigma writes σ_{s,c} = w_{s,c} + Σ_k w_k f_sk for every
+// (source, class) into tbl (indexed like srcIdx: class·|S|+source),
+// reading the weights from w. The per-entry arithmetic and feature
+// summation order match SigmaClass exactly, so a cached entry is
+// bit-identical to a per-observation recomputation at the same weights.
+func (m *Model) fillSigma(w []float64, tbl []float64) {
+	fb := m.featBase()
+	for c := 0; c < m.numClasses; c++ {
+		for s := 0; s < m.numSources; s++ {
+			sg := w[c*m.numSources+s]
+			if m.opts.UseFeatures {
+				for _, k := range m.ds.SourceFeatures[s] {
+					sg += w[fb+int(k)]
+				}
+			}
+			tbl[c*m.numSources+s] = sg
+		}
+	}
+}
+
+// sigmaTable returns the σ-cache for the current model weights,
+// recomputing it at most once per frozen-weight phase.
+//
+// Invalidation contract: every code path that mutates m.w must call
+// invalidateSigma before the next frozen-weight phase reads the table.
+// Inside this package that is SetWeights, the optimizer runs in FitERM,
+// FitEM's M-step and calibrateOnce, EM's initial-accuracy seeding, and
+// calibrate's uniform shift / closed-form per-source steps. The
+// sequential SGD path never reads this cache — accumGradient recomputes
+// σ from the live weights at every step so the legacy per-step
+// trajectory stays bit-identical; only phases with frozen weights
+// (E-step, exact inference, likelihood scoring, Gibbs compilation,
+// calibration counting, minibatch gradient shards via their own
+// per-batch table) read a σ-table.
+func (m *Model) sigmaTable() []float64 {
+	m.sigmaMu.Lock()
+	if !m.sigmaValid {
+		m.fillSigma(m.w, m.sigma)
+		m.sigmaValid = true
+	}
+	m.sigmaMu.Unlock()
+	return m.sigma
+}
+
+// invalidateSigma marks the σ-cache stale; see sigmaTable.
+func (m *Model) invalidateSigma() {
+	m.sigmaMu.Lock()
+	m.sigmaValid = false
+	m.sigmaMu.Unlock()
+}
+
+// scratch bundles the reusable per-worker buffers of the inner loops
+// (scores, softmax output, residuals) so steady-state scoring and
+// gradient accumulation allocate nothing.
+type scratch struct {
+	scores []float64
+	probs  []float64
+	resid  []float64
+}
+
+// growFloats returns buf resized to n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// getScratch hands out a per-worker scratch; return it with putScratch.
+func (m *Model) getScratch() *scratch {
+	if sc, ok := m.scratchPool.Get().(*scratch); ok {
+		return sc
+	}
+	return &scratch{}
+}
+
+func (m *Model) putScratch(sc *scratch) { m.scratchPool.Put(sc) }

@@ -10,6 +10,28 @@ import (
 	"slimfast/internal/parallel"
 )
 
+// prepGrad wires a Minimize config for the gradient hot path and
+// returns the σ-table the gradient closures should score against plus a
+// scratch provider safe for the config's concurrency.
+//
+// In minibatch mode (cfg.Batch > 1) the returned table is refreshed by
+// a BatchStart hook at each batch's frozen weights, so the concurrent
+// gradient shards read one σ per (source, class) instead of re-summing
+// the feature weights per observation; scratch comes from the model's
+// pool because the shards run on multiple goroutines. In sequential
+// mode the table is nil — accumGradient recomputes σ from the live
+// weights at every step, preserving the exact legacy SGD trajectory —
+// and a single reused scratch suffices.
+func (m *Model) prepGrad(cfg *optim.Config) (sg []float64, get func() *scratch, put func(*scratch)) {
+	if cfg.Batch > 1 {
+		tbl := make([]float64, m.numSources*m.numClasses)
+		cfg.BatchStart = func(w []float64) { m.fillSigma(w, tbl) }
+		return tbl, m.getScratch, m.putScratch
+	}
+	sc := &scratch{}
+	return nil, func() *scratch { return sc }, func(*scratch) {}
+}
+
 // FitERM learns the model weights by empirical risk minimization over
 // the ground truth G (Section 3.2): it maximizes the likelihood of the
 // labeled object values, a convex objective solved with SGD. It returns
@@ -22,18 +44,16 @@ func (m *Model) FitERM(train data.TruthMap) (optim.Result, error) {
 	if len(examples) == 0 {
 		return optim.Result{}, errors.New("core: FitERM requires ground truth on observed objects")
 	}
+	cfg := m.optimCfg()
+	sg, get, put := m.prepGrad(&cfg)
 	grad := func(i int, w []float64, g *optim.Sparse) {
 		ex := examples[i]
-		m.accumGradient(w, g, ex.object, func(dom []data.ValueID, probs []float64, out []float64) {
-			for j, v := range dom {
-				out[j] = probs[j]
-				if v == ex.truth {
-					out[j] -= 1
-				}
-			}
-		})
+		sc := get()
+		m.accumGradient(w, g, ex.object, ex.truth, nil, sg, sc)
+		put(sc)
 	}
-	res, err := optim.Minimize(len(examples), m.w, grad, m.optimCfg())
+	res, err := optim.Minimize(len(examples), m.w, grad, cfg)
+	m.invalidateSigma()
 	if err != nil {
 		return res, err
 	}
@@ -99,9 +119,11 @@ func (m *Model) FitEM(train data.TruthMap) (EMStats, error) {
 		for i := 0; i < m.numSources*m.numClasses; i++ {
 			m.w[i] = init
 		}
+		m.invalidateSigma()
 	}
 
-	// q[i] is the E-step posterior over examples[i].object's domain.
+	// q[i] is the E-step posterior over examples[i].object's domain;
+	// the slices are allocated once and rewritten in place every round.
 	q := make([][]float64, len(examples))
 	prevW := make([]float64, len(m.w))
 	var stats EMStats
@@ -111,20 +133,24 @@ func (m *Model) FitEM(train data.TruthMap) (EMStats, error) {
 	if mcfg.Epochs > 10 {
 		mcfg.Epochs = 10
 	}
+	sg, get, put := m.prepGrad(&mcfg)
 	workers := m.workers()
 	for iter := 0; iter < m.opts.EMMaxIters; iter++ {
 		// E-step: each example's posterior lands in its own q slot, so
 		// the scoring fans out over workers with bit-identical results
-		// for any worker count.
+		// for any worker count. The σ-table is frozen for the whole
+		// step.
+		esg := m.sigmaTable()
 		parallel.Do(len(examples), workers, func(ch parallel.Chunk) {
-			var buf []float64
+			sc := m.getScratch()
 			for i := ch.Lo; i < ch.Hi; i++ {
 				ex := examples[i]
-				scores, dom := m.objectScores(ex.object, buf)
-				buf = scores
 				if ex.truth != data.None {
-					p := make([]float64, len(dom))
+					// Labeled: point mass on the label; no scoring.
+					dom := m.lay.dom[ex.object]
+					p := growFloats(q[i], len(dom))
 					for j, v := range dom {
+						p[j] = 0
 						if v == ex.truth {
 							p[j] = 1
 						}
@@ -132,22 +158,24 @@ func (m *Model) FitEM(train data.TruthMap) (EMStats, error) {
 					q[i] = p
 					continue
 				}
-				q[i] = mathx.Softmax(scores, nil)
+				scores, _ := m.objectScores(ex.object, esg, sc.scores)
+				sc.scores = scores
+				q[i] = mathx.Softmax(scores, q[i])
 			}
+			m.putScratch(sc)
 		})
 		// M-step.
 		copy(prevW, m.w)
 		mcfg.Seed = m.opts.Optim.Seed + int64(iter) + 1
 		grad := func(i int, w []float64, g *optim.Sparse) {
 			ex := examples[i]
-			qi := q[i]
-			m.accumGradient(w, g, ex.object, func(dom []data.ValueID, probs []float64, out []float64) {
-				for j := range dom {
-					out[j] = probs[j] - qi[j]
-				}
-			})
+			sc := get()
+			m.accumGradient(w, g, ex.object, data.None, q[i], sg, sc)
+			put(sc)
 		}
-		if _, err := optim.Minimize(len(examples), m.w, grad, mcfg); err != nil {
+		_, err := optim.Minimize(len(examples), m.w, grad, mcfg)
+		m.invalidateSigma()
+		if err != nil {
 			return stats, err
 		}
 		stats.Iterations = iter + 1
@@ -203,56 +231,59 @@ func (m *Model) labeledExamples(train data.TruthMap) []labeledExample {
 	return out
 }
 
-// residualFunc computes per-value residuals r_d = ∂(-loglik)/∂score_d
-// into out given the object's domain and current softmax probabilities.
-type residualFunc func(dom []data.ValueID, probs []float64, out []float64)
-
-// accumGradient adds one object's gradient contribution to g. The
-// chain rule routes each value residual to the weights that feed that
-// value's score: observation (o,s) with value v adds r_v to w_s and to
-// every active feature weight of s; a copy agreement on value u adds
-// Σ_{d≠u} r_d to the pair weight.
-func (m *Model) accumGradient(w []float64, g *optim.Sparse, o data.ObjectID, residuals residualFunc) {
-	// Compute scores under w (which aliases m.w during optimization,
-	// but recompute defensively through a local sigma to honour the
-	// optimizer's view of the weights).
-	dom := m.ds.Domain(o)
-	if len(dom) == 0 {
+// accumGradient adds one object's gradient contribution to g. q selects
+// the residual: when non-nil it is the E-step posterior over the
+// object's compiled domain and r = probs − q (EM's expected loss);
+// otherwise r = probs − 1[v = truth] (ERM's supervised loss, where
+// truth may be data.None under open-world semantics to target the
+// wildcard). The chain rule routes each value residual to the weights
+// that feed that value's score: observation (o,s) with value v adds r_v
+// to w_s and to every active feature weight of s; a copy agreement on
+// value u adds Σ_{d≠u} r_d to the pair weight.
+//
+// sg is the frozen-batch σ-table (see prepGrad) or nil for the
+// sequential path, which recomputes σ from w at every step — w aliases
+// m.w during optimization, and the per-step recomputation honours the
+// optimizer's live view of the weights exactly as the pre-compiled
+// implementation did. All buffers come from sc, so the steady state
+// allocates nothing.
+func (m *Model) accumGradient(w []float64, g *optim.Sparse, o data.ObjectID, truth data.ValueID, q []float64, sg []float64, sc *scratch) {
+	dom := m.lay.dom[o]
+	n := len(dom)
+	if n == 0 {
 		return
 	}
-	pos := make(map[data.ValueID]int, len(dom))
-	for i, v := range dom {
-		pos[v] = i
+	fb := m.featBase()
+	scores := growFloats(sc.scores, n)
+	sc.scores = scores
+	for i := range scores {
+		scores[i] = 0
 	}
-	nScores := len(dom)
 	if m.opts.OpenWorld {
-		// Mirror objectScores: trailing wildcard with constant bias.
-		ext := make([]data.ValueID, 0, nScores+1)
-		ext = append(ext, dom...)
-		dom = append(ext, data.None)
-		nScores++
-	}
-	scores := make([]float64, nScores)
-	if m.opts.OpenWorld {
-		scores[nScores-1] = m.opts.OpenWorldBias
+		scores[n-1] = m.opts.OpenWorldBias
 	}
 	obs := m.ds.ObjectObservations(o)
+	base := m.lay.obsBase[o]
 	class := m.classOfObject(o)
-	sigma := func(s data.SourceID) float64 {
-		sg := w[m.srcIdx(s, class)]
-		if m.opts.UseFeatures {
-			for _, k := range m.ds.SourceFeatures[s] {
-				sg += w[m.featBase()+int(k)]
-			}
+	classBase := class * m.numSources
+	if sg != nil {
+		for i, ob := range obs {
+			scores[m.lay.obsLocal[base+i]] += sg[classBase+int(ob.Source)]
 		}
-		return sg
-	}
-	for _, ob := range obs {
-		scores[pos[ob.Value]] += sigma(ob.Source)
+	} else {
+		for i, ob := range obs {
+			sgm := w[classBase+int(ob.Source)]
+			if m.opts.UseFeatures {
+				for _, k := range m.ds.SourceFeatures[ob.Source] {
+					sgm += w[fb+int(k)]
+				}
+			}
+			scores[m.lay.obsLocal[base+i]] += sgm
+		}
 	}
 	if m.opts.CopyFeatures {
 		for _, ag := range m.objCopyAgree[o] {
-			wp := w[m.featBase()+m.numFeatures+ag.pair]
+			wp := w[fb+m.numFeatures+ag.pair]
 			for i, v := range dom {
 				if v != ag.value {
 					scores[i] += wp
@@ -260,18 +291,31 @@ func (m *Model) accumGradient(w []float64, g *optim.Sparse, o data.ObjectID, res
 			}
 		}
 	}
-	probs := mathx.Softmax(scores, nil)
-	r := make([]float64, len(dom))
-	residuals(dom, probs, r)
-	for _, ob := range obs {
-		rv := r[pos[ob.Value]]
+	probs := mathx.Softmax(scores, sc.probs)
+	sc.probs = probs
+	r := growFloats(sc.resid, n)
+	sc.resid = r
+	if q != nil {
+		for j := range dom {
+			r[j] = probs[j] - q[j]
+		}
+	} else {
+		for j, v := range dom {
+			r[j] = probs[j]
+			if v == truth {
+				r[j] -= 1
+			}
+		}
+	}
+	for i, ob := range obs {
+		rv := r[m.lay.obsLocal[base+i]]
 		if rv == 0 {
 			continue
 		}
-		g.Add(m.srcIdx(ob.Source, class), rv)
+		g.Add(classBase+int(ob.Source), rv)
 		if m.opts.UseFeatures {
 			for _, k := range m.ds.SourceFeatures[ob.Source] {
-				g.Add(m.featBase()+int(k), rv)
+				g.Add(fb+int(k), rv)
 			}
 		}
 	}
@@ -283,7 +327,7 @@ func (m *Model) accumGradient(w []float64, g *optim.Sparse, o data.ObjectID, res
 					sum += r[i]
 				}
 			}
-			g.Add(m.featBase()+m.numFeatures+ag.pair, sum)
+			g.Add(fb+m.numFeatures+ag.pair, sum)
 		}
 	}
 }
@@ -296,15 +340,16 @@ func (m *Model) LogLikelihood(truth data.TruthMap) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
+	sg := m.sigmaTable()
 	// Chunked ordered reduction: bit-identical for any Workers > 1 and
 	// within float reassociation noise (<< 1e-12) of the serial order.
 	sum := parallel.Sum(len(examples), m.workers(), func(ch parallel.Chunk) float64 {
 		var part float64
-		var buf []float64
+		sc := m.getScratch()
 		for i := ch.Lo; i < ch.Hi; i++ {
 			ex := examples[i]
-			scores, dom := m.objectScores(ex.object, buf)
-			buf = scores
+			scores, dom := m.objectScores(ex.object, sg, sc.scores)
+			sc.scores = scores
 			lse := mathx.LogSumExp(scores)
 			for j, v := range dom {
 				if v == ex.truth {
@@ -313,6 +358,7 @@ func (m *Model) LogLikelihood(truth data.TruthMap) float64 {
 				}
 			}
 		}
+		m.putScratch(sc)
 		return part
 	})
 	return sum / float64(len(examples))
@@ -349,13 +395,14 @@ func (m *Model) ExpectedLogLoss(gold data.TruthMap) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
+	sg := m.sigmaTable()
 	sum := parallel.Sum(len(examples), m.workers(), func(ch parallel.Chunk) float64 {
 		var part float64
-		var buf []float64
+		sc := m.getScratch()
 		for i := ch.Lo; i < ch.Hi; i++ {
 			ex := examples[i]
-			scores, dom := m.objectScores(ex.object, buf)
-			buf = scores
+			scores, dom := m.objectScores(ex.object, sg, sc.scores)
+			sc.scores = scores
 			lse := mathx.LogSumExp(scores)
 			for j, v := range dom {
 				if v == ex.truth {
@@ -364,6 +411,7 @@ func (m *Model) ExpectedLogLoss(gold data.TruthMap) float64 {
 				}
 			}
 		}
+		m.putScratch(sc)
 		return part
 	})
 	loss := sum / float64(len(examples))

@@ -52,14 +52,7 @@ func TestFitERMGradientFiniteDifference(t *testing.T) {
 	analytic := make([]float64, m.NumParams())
 	for _, ex := range examples {
 		g := optim.NewSparse()
-		m.accumGradient(m.w, g, ex.object, func(dom []data.ValueID, probs []float64, out []float64) {
-			for j, v := range dom {
-				out[j] = probs[j]
-				if v == ex.truth {
-					out[j] -= 1
-				}
-			}
-		})
+		m.accumGradient(m.w, g, ex.object, ex.truth, nil, nil, &scratch{})
 		g.Dense(analytic)
 	}
 
@@ -117,14 +110,7 @@ func TestFitERMGradientWithCopyFeaturesFiniteDifference(t *testing.T) {
 	analytic := make([]float64, m.NumParams())
 	for _, ex := range examples {
 		g := optim.NewSparse()
-		m.accumGradient(m.w, g, ex.object, func(dom []data.ValueID, probs []float64, out []float64) {
-			for j, v := range dom {
-				out[j] = probs[j]
-				if v == ex.truth {
-					out[j] -= 1
-				}
-			}
-		})
+		m.accumGradient(m.w, g, ex.object, ex.truth, nil, nil, &scratch{})
 		g.Dense(analytic)
 	}
 	loss := func(w []float64) float64 {

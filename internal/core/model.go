@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"slimfast/internal/data"
 	"slimfast/internal/factor"
@@ -169,6 +170,21 @@ type Model struct {
 	// objCopyAgree[o] lists agreements relevant to object o: which copy
 	// pair agreed and on which value.
 	objCopyAgree [][]copyAgreement
+
+	// lay is the compiled hot-path layout (CSR observations with local
+	// domain indices, extended domains, dense-slab offsets, feature
+	// index); see compiled.go.
+	lay layout
+
+	// sigma caches the per-(source, class) reliability scores at the
+	// current weights; sigmaValid tracks the invalidate-on-weight-change
+	// contract documented on sigmaTable.
+	sigma      []float64
+	sigmaValid bool
+	sigmaMu    sync.Mutex
+
+	// scratchPool recycles the per-worker hot-loop buffers.
+	scratchPool sync.Pool
 }
 
 type copyPair struct {
@@ -218,6 +234,8 @@ func Compile(ds *data.Dataset, opts Options) (*Model, error) {
 		m.buildCopyPairs()
 	}
 	m.w = make([]float64, m.numSources*m.numClasses+m.numFeatures+len(m.copyPairs))
+	m.sigma = make([]float64, m.numSources*m.numClasses)
+	m.buildLayout()
 	return m, nil
 }
 
@@ -239,7 +257,9 @@ func (m *Model) classOfObject(o data.ObjectID) int {
 func (m *Model) NumClasses() int { return m.numClasses }
 
 // buildCopyPairs finds source pairs co-observing at least
-// MinCopyOverlap objects and records their per-object agreements.
+// MinCopyOverlap objects and records their per-object agreements. Pair
+// keys are canonicalized to (min, max) so the compiled copy features do
+// not depend on the order observations happened to be recorded in.
 func (m *Model) buildCopyPairs() {
 	type pairKey struct{ a, b data.SourceID }
 	overlap := map[pairKey]int{}
@@ -253,6 +273,9 @@ func (m *Model) buildCopyPairs() {
 		for i := 0; i < len(obs); i++ {
 			for j := i + 1; j < len(obs); j++ {
 				k := pairKey{obs[i].Source, obs[j].Source}
+				if k.a > k.b {
+					k.a, k.b = k.b, k.a
+				}
 				overlap[k]++
 				if obs[i].Value == obs[j].Value {
 					agreeByPair[k] = append(agreeByPair[k], agreeRec{data.ObjectID(o), obs[i].Value})
@@ -312,6 +335,7 @@ func (m *Model) SetWeights(w []float64) error {
 		return fmt.Errorf("core: SetWeights: got %d weights, want %d", len(w), len(m.w))
 	}
 	copy(m.w, w)
+	m.invalidateSigma()
 	return nil
 }
 
@@ -364,10 +388,7 @@ func (m *Model) SourceAccuraciesByClass() [][]float64 {
 // training, from its feature labels alone (Section 5.3.2, Figure 7).
 // Labels absent from the training feature vocabulary are ignored.
 func (m *Model) PredictAccuracy(featureLabels []string) float64 {
-	idx := make(map[string]data.FeatureID, m.numFeatures)
-	for i, n := range m.ds.FeatureNames {
-		idx[n] = data.FeatureID(i)
-	}
+	idx := m.lay.featIdx
 	var sigma float64
 	if m.opts.PredictIntercept && m.numSources > 0 {
 		var sum float64
@@ -388,40 +409,31 @@ func (m *Model) PredictAccuracy(featureLabels []string) float64 {
 }
 
 // objectScores computes the unnormalized log-posterior scores for every
-// value in Do of object o under the current weights (Equation 4 plus
-// copy features), writing into buf and returning it alongside the
-// domain. Under open-world semantics the returned domain carries a
-// trailing data.None wildcard whose score is the configured bias.
-func (m *Model) objectScores(o data.ObjectID, buf []float64) ([]float64, []data.ValueID) {
-	base := m.ds.Domain(o)
-	if len(base) == 0 {
+// value in the compiled domain of object o (Equation 4 plus copy
+// features), writing into buf and returning it alongside the domain.
+// sg is the σ-table for the weights being scored (sigmaTable for the
+// model's own weights). The compiled layout supplies each observation's
+// local domain index and the open-world-extended domain, so the loop is
+// pure indexed arithmetic — no per-call maps or domain copies. Under
+// open-world semantics the returned domain carries a trailing data.None
+// wildcard whose score is the configured bias.
+func (m *Model) objectScores(o data.ObjectID, sg []float64, buf []float64) ([]float64, []data.ValueID) {
+	dom := m.lay.dom[o]
+	n := len(dom)
+	if n == 0 {
 		return buf[:0], nil
 	}
-	dom := base
-	n := len(base)
-	if m.opts.OpenWorld {
-		n++
-	}
-	if cap(buf) < n {
-		buf = make([]float64, n)
-	}
-	buf = buf[:n]
+	buf = growFloats(buf, n)
 	for i := range buf {
 		buf[i] = 0
 	}
 	if m.opts.OpenWorld {
-		dom = make([]data.ValueID, 0, n)
-		dom = append(dom, base...)
-		dom = append(dom, data.None)
 		buf[n-1] = m.opts.OpenWorldBias
 	}
-	pos := make(map[data.ValueID]int, len(base))
-	for i, v := range base {
-		pos[v] = i
-	}
-	class := m.classOfObject(o)
-	for _, ob := range m.ds.ObjectObservations(o) {
-		buf[pos[ob.Value]] += m.SigmaClass(ob.Source, class)
+	base := m.lay.obsBase[o]
+	classBase := m.classOfObject(o) * m.numSources
+	for i, ob := range m.ds.ObjectObservations(o) {
+		buf[m.lay.obsLocal[base+i]] += sg[classBase+int(ob.Source)]
 	}
 	if m.opts.CopyFeatures {
 		for _, ag := range m.objCopyAgree[o] {
@@ -444,7 +456,7 @@ func (m *Model) objectScores(o data.ObjectID, buf []float64) ([]float64, []data.
 // Posterior returns P(To = d | Ω; w) over the object's domain, computed
 // exactly. Objects with no observations return nil.
 func (m *Model) Posterior(o data.ObjectID) map[data.ValueID]float64 {
-	scores, dom := m.objectScores(o, nil)
+	scores, dom := m.objectScores(o, m.sigmaTable(), nil)
 	if len(dom) == 0 {
 		return nil
 	}
@@ -458,13 +470,100 @@ func (m *Model) Posterior(o data.ObjectID) map[data.ValueID]float64 {
 
 // Result is the output of data fusion: MAP values and posteriors per
 // object, plus the estimated source accuracies.
+//
+// Posteriors are held densely (one slab indexed by the compiled layout)
+// and materialized into maps lazily: Posterior and Posteriors return
+// ordinary map[data.ValueID]float64 views, but a caller that only reads
+// Values never pays for per-object map construction. The slab is a
+// snapshot taken at inference time, so the views stay valid if the
+// model's weights change afterwards.
 type Result struct {
 	Values           map[data.ObjectID]data.ValueID
-	Posteriors       map[data.ObjectID]map[data.ValueID]float64
 	SourceAccuracies []float64
 	// Algorithm records which learner produced the weights
 	// ("erm", "em", or "none" for an unfitted model).
 	Algorithm string
+
+	// dense is the slab-backed posterior snapshot (exact inference);
+	// Gibbs results materialize posteriors eagerly instead. lay is the
+	// owning model's compiled layout, needed to decode the slab.
+	dense *denseResult
+	lay   *layout
+
+	mu         sync.Mutex
+	posteriors map[data.ObjectID]map[data.ValueID]float64
+	allBuilt   bool
+}
+
+// Posterior returns P(To = d | Ω) for object o as a map over its
+// domain, or nil when the object has no posterior. The map is built on
+// first access and cached; repeated calls return the same map.
+func (r *Result) Posterior(o data.ObjectID) map[data.ValueID]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if post, ok := r.posteriors[o]; ok {
+		return post
+	}
+	if r.allBuilt || r.dense == nil || int(o) < 0 || int(o) >= len(r.dense.state) {
+		return nil
+	}
+	post := r.materialize(o)
+	if post != nil {
+		if r.posteriors == nil {
+			r.posteriors = make(map[data.ObjectID]map[data.ValueID]float64)
+		}
+		r.posteriors[o] = post
+	}
+	return post
+}
+
+// Posteriors returns the full per-object posterior view, materializing
+// any maps not yet built. Callers that need only a few objects should
+// prefer Posterior.
+func (r *Result) Posteriors() map[data.ObjectID]map[data.ValueID]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.allBuilt {
+		return r.posteriors
+	}
+	if r.posteriors == nil {
+		n := 0
+		if r.dense != nil {
+			n = len(r.dense.state)
+		}
+		r.posteriors = make(map[data.ObjectID]map[data.ValueID]float64, n)
+	}
+	if r.dense != nil {
+		for o := range r.dense.state {
+			oid := data.ObjectID(o)
+			if _, ok := r.posteriors[oid]; ok {
+				continue
+			}
+			if post := r.materialize(oid); post != nil {
+				r.posteriors[oid] = post
+			}
+		}
+	}
+	r.allBuilt = true
+	return r.posteriors
+}
+
+// materialize builds object o's posterior map from the dense snapshot;
+// callers hold r.mu.
+func (r *Result) materialize(o data.ObjectID) map[data.ValueID]float64 {
+	switch r.dense.state[o] {
+	case objKnown:
+		return map[data.ValueID]float64{r.dense.best[o]: 1}
+	case objComputed:
+		dom := r.lay.dom[o]
+		seg := r.dense.probs[r.lay.scoreStart[o]:r.lay.scoreStart[o+1]]
+		post := make(map[data.ValueID]float64, len(dom))
+		for i, v := range dom {
+			post[v] = seg[i]
+		}
+		return post
+	}
+	return nil
 }
 
 // Infer runs posterior inference for every object under the current
@@ -482,57 +581,80 @@ func (m *Model) Infer(known data.TruthMap) (*Result, error) {
 	}
 }
 
-func (m *Model) inferExact(known data.TruthMap) *Result {
+// Dense-path object states; see denseResult.
+const (
+	objEmpty    uint8 = iota // no observations and no label: no output
+	objComputed              // posterior computed into the slab
+	objKnown                 // label clamped: point mass on best
+)
+
+// denseResult is the allocation-light internal form of exact inference:
+// object o's posterior over lay.dom[o] occupies
+// probs[lay.scoreStart[o]:lay.scoreStart[o+1]] in one shared slab, and
+// best holds its MAP value. Internal consumers (the EM E-step feed and
+// Calibrate's agreement counting) read the slab directly through the
+// compiled observation indices; only the public Result API materializes
+// maps.
+type denseResult struct {
+	probs []float64
+	state []uint8
+	best  []data.ValueID
+}
+
+// inferDense computes exact posteriors for every object into a dense
+// slab. Per-object scores are written straight into each object's
+// index-owned slab segment and softmaxed in place, so the scoring loop
+// performs no per-object allocation and the result is bit-identical for
+// any worker count.
+func (m *Model) inferDense(known data.TruthMap) *denseResult {
 	nObj := m.ds.NumObjects()
-	res := &Result{
-		Values:           make(map[data.ObjectID]data.ValueID, nObj),
-		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, nObj),
-		SourceAccuracies: m.SourceAccuracies(),
+	sg := m.sigmaTable()
+	dr := &denseResult{
+		probs: make([]float64, m.lay.scoreStart[nObj]),
+		state: make([]uint8, nObj),
+		best:  make([]data.ValueID, nObj),
 	}
-	// Per-object outcomes are scored into index-owned slots (possibly
-	// concurrently — the model and known map are only read), then
-	// assembled into the result maps in object order. The posteriors
-	// are bit-identical for any worker count: each object's softmax is
-	// independent of the chunking.
-	type outcome struct {
-		ok   bool
-		best data.ValueID
-		post map[data.ValueID]float64
-	}
-	outs := make([]outcome, nObj)
 	parallel.Do(nObj, m.workers(), func(ch parallel.Chunk) {
-		var buf []float64
 		for o := ch.Lo; o < ch.Hi; o++ {
 			oid := data.ObjectID(o)
 			if v, ok := known[oid]; ok {
-				outs[o] = outcome{true, v, map[data.ValueID]float64{v: 1}}
+				dr.state[o] = objKnown
+				dr.best[o] = v
 				continue
 			}
-			scores, dom := m.objectScores(oid, buf)
-			buf = scores
+			seg := dr.probs[m.lay.scoreStart[o]:m.lay.scoreStart[o+1]]
+			scores, dom := m.objectScores(oid, sg, seg)
 			if len(dom) == 0 {
 				continue
 			}
-			probs := mathx.Softmax(scores, nil)
-			post := make(map[data.ValueID]float64, len(dom))
+			probs := mathx.Softmax(scores, scores)
 			best, bestP := dom[0], probs[0]
 			for i, v := range dom {
-				post[v] = probs[i]
 				if probs[i] > bestP {
 					best, bestP = v, probs[i]
 				}
 			}
-			outs[o] = outcome{true, best, post}
+			dr.state[o] = objComputed
+			dr.best[o] = best
 		}
 	})
-	for o := range outs {
-		if !outs[o].ok {
-			continue
-		}
-		oid := data.ObjectID(o)
-		res.Values[oid] = outs[o].best
-		res.Posteriors[oid] = outs[o].post
+	return dr
+}
+
+func (m *Model) inferExact(known data.TruthMap) *Result {
+	nObj := m.ds.NumObjects()
+	res := &Result{
+		Values:           make(map[data.ObjectID]data.ValueID, nObj),
+		SourceAccuracies: m.SourceAccuracies(),
 	}
+	dr := m.inferDense(known)
+	for o := 0; o < nObj; o++ {
+		if dr.state[o] != objEmpty {
+			res.Values[data.ObjectID(o)] = dr.best[o]
+		}
+	}
+	res.dense = dr
+	res.lay = &m.lay
 	return res
 }
 
@@ -550,29 +672,26 @@ func (m *Model) optimCfg() optim.Config {
 }
 
 // inferGibbs compiles the current model into a factor graph and runs
-// the sampler, the execution path the paper uses via DeepDive.
+// the sampler, the execution path the paper uses via DeepDive. The
+// compiled graph is fully factorized (every factor is unary), so the
+// sampler's independent-chain fan-out applies unless the effective
+// Gibbs Workers setting is exactly 1 (the legacy sweep chain); the
+// sampled marginals depend only on the config, never on the host's
+// core count.
 func (m *Model) inferGibbs(known data.TruthMap) (*Result, error) {
 	var g factor.Graph
+	sg := m.sigmaTable()
 	varOf := make([]int, m.ds.NumObjects())
 	domains := make([][]data.ValueID, m.ds.NumObjects())
 	for o := 0; o < m.ds.NumObjects(); o++ {
 		oid := data.ObjectID(o)
-		dom := m.ds.Domain(oid)
+		dom := m.lay.dom[o]
 		if len(dom) == 0 {
 			varOf[o] = -1
 			continue
 		}
-		if m.opts.OpenWorld {
-			ext := make([]data.ValueID, 0, len(dom)+1)
-			ext = append(ext, dom...)
-			dom = append(ext, data.None)
-		}
 		domains[o] = dom
 		varOf[o] = g.AddVariable(len(dom))
-		pos := make(map[data.ValueID]int, len(dom))
-		for i, v := range dom {
-			pos[v] = i
-		}
 		if m.opts.OpenWorld {
 			f := factor.Factor{
 				Vars:      []int{varOf[o]},
@@ -584,18 +703,19 @@ func (m *Model) inferGibbs(known data.TruthMap) (*Result, error) {
 			}
 		}
 		if v, ok := known[oid]; ok {
-			if i, exists := pos[v]; exists {
+			if i := localIndex(dom, v); i >= 0 {
 				if err := g.SetEvidence(varOf[o], i); err != nil {
 					return nil, err
 				}
 			}
 		}
-		class := m.classOfObject(oid)
-		for _, ob := range m.ds.ObjectObservations(oid) {
+		classBase := m.classOfObject(oid) * m.numSources
+		base := m.lay.obsBase[o]
+		for i, ob := range m.ds.ObjectObservations(oid) {
 			f := factor.Factor{
 				Vars:      []int{varOf[o]},
-				Weight:    m.SigmaClass(ob.Source, class),
-				Potential: factor.IndicatorEquals(pos[ob.Value]),
+				Weight:    sg[classBase+int(ob.Source)],
+				Potential: factor.IndicatorEquals(int(m.lay.obsLocal[base+i])),
 			}
 			if err := g.AddFactor(f); err != nil {
 				return nil, err
@@ -607,7 +727,7 @@ func (m *Model) inferGibbs(known data.TruthMap) (*Result, error) {
 				f := factor.Factor{
 					Vars:      []int{varOf[o]},
 					Weight:    wp,
-					Potential: factor.IndicatorNotEquals(pos[ag.value]),
+					Potential: factor.IndicatorNotEquals(localIndex(dom, ag.value)),
 				}
 				if err := g.AddFactor(f); err != nil {
 					return nil, err
@@ -615,21 +735,27 @@ func (m *Model) inferGibbs(known data.TruthMap) (*Result, error) {
 			}
 		}
 	}
-	marg, err := g.Gibbs(m.opts.Gibbs)
+	cfg := m.opts.Gibbs
+	if cfg.Workers == 0 {
+		cfg.Workers = m.opts.Workers
+	}
+	marg, err := g.Gibbs(cfg)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Values:           make(map[data.ObjectID]data.ValueID, m.ds.NumObjects()),
-		Posteriors:       make(map[data.ObjectID]map[data.ValueID]float64, m.ds.NumObjects()),
 		SourceAccuracies: m.SourceAccuracies(),
+		// Sampling is the cold path; its posteriors materialize eagerly.
+		posteriors: make(map[data.ObjectID]map[data.ValueID]float64, m.ds.NumObjects()),
+		allBuilt:   true,
 	}
 	for o := 0; o < m.ds.NumObjects(); o++ {
 		oid := data.ObjectID(o)
 		if varOf[o] < 0 {
 			if v, ok := known[oid]; ok {
 				res.Values[oid] = v
-				res.Posteriors[oid] = map[data.ValueID]float64{v: 1}
+				res.posteriors[oid] = map[data.ValueID]float64{v: 1}
 			}
 			continue
 		}
@@ -647,7 +773,7 @@ func (m *Model) inferGibbs(known data.TruthMap) (*Result, error) {
 			best = v
 		}
 		res.Values[oid] = best
-		res.Posteriors[oid] = post
+		res.posteriors[oid] = post
 	}
 	return res, nil
 }

@@ -124,7 +124,7 @@ func TestInferExactRespectsKnownLabels(t *testing.T) {
 	if res.Values[0] != 1 {
 		t.Errorf("known label overridden: %v", res.Values[0])
 	}
-	if res.Posteriors[0][1] != 1 {
+	if res.Posterior(0)[1] != 1 {
 		t.Error("known label should have point-mass posterior")
 	}
 }
@@ -172,8 +172,8 @@ func TestInferGibbsMatchesExact(t *testing.T) {
 	// Posteriors should agree to sampling error; MAP values should
 	// agree on confidently decided objects.
 	var maxDiff float64
-	for o, pe := range exact.Posteriors {
-		pg := gibbs.Posteriors[o]
+	for o, pe := range exact.Posteriors() {
+		pg := gibbs.Posterior(o)
 		for v, p := range pe {
 			d := math.Abs(p - pg[v])
 			if d > maxDiff {
@@ -186,7 +186,7 @@ func TestInferGibbsMatchesExact(t *testing.T) {
 	}
 	agree, decided := 0, 0
 	for o, v := range exact.Values {
-		if exact.Posteriors[o][v] < 0.7 {
+		if exact.Posterior(o)[v] < 0.7 {
 			continue
 		}
 		decided++

@@ -196,10 +196,10 @@ func TestOpenWorldGibbsMatchesExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for o, pe := range exact.Posteriors {
+	for o, pe := range exact.Posteriors() {
 		for v, p := range pe {
-			if math.Abs(gibbs.Posteriors[o][v]-p) > 0.02 {
-				t.Errorf("object %d value %d: gibbs %v vs exact %v", o, v, gibbs.Posteriors[o][v], p)
+			if math.Abs(gibbs.Posterior(o)[v]-p) > 0.02 {
+				t.Errorf("object %d value %d: gibbs %v vs exact %v", o, v, gibbs.Posterior(o)[v], p)
 			}
 		}
 	}

@@ -57,9 +57,9 @@ func assertSameFit(t *testing.T, label string, a, b *Model, ra, rb *Result) {
 			t.Fatalf("%s: object %d fused to %d vs %d", label, o, v, rb.Values[o])
 		}
 	}
-	for o, post := range ra.Posteriors {
+	for o, post := range ra.Posteriors() {
 		for v, p := range post {
-			if q := rb.Posteriors[o][v]; q != p {
+			if q := rb.Posterior(o)[v]; q != p {
 				t.Fatalf("%s: posterior[%d][%d] = %v vs %v", label, o, v, p, q)
 			}
 		}

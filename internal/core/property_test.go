@@ -212,7 +212,7 @@ func TestQuickInferMatchesPosteriorArgmax(t *testing.T) {
 			return false
 		}
 		for o, v := range res.Values {
-			post := res.Posteriors[o]
+			post := res.Posterior(o)
 			for _, p := range post {
 				if p > post[v]+1e-12 {
 					return false

@@ -168,7 +168,7 @@ func (s *SLiMFast) Fuse(ds *data.Dataset, train data.TruthMap) (*baselines.Outpu
 	}
 	return &baselines.Output{
 		Values:           res.Values,
-		Posteriors:       res.Posteriors,
+		Posteriors:       res.Posteriors(),
 		SourceAccuracies: res.SourceAccuracies,
 	}, nil
 }

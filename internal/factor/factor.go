@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"slimfast/internal/mathx"
+	"slimfast/internal/parallel"
 	"slimfast/internal/randx"
 )
 
@@ -102,6 +103,21 @@ type GibbsConfig struct {
 	Burnin  int   // sweeps discarded before counting
 	Samples int   // counted sweeps
 	Seed    int64 // chain seed
+
+	// Workers bounds the goroutines used by the independent-chains
+	// fan-out (<= 0 means runtime.GOMAXPROCS(0)). Unless Workers is
+	// exactly 1, a graph where no factor couples two latent variables —
+	// always true for the fully factorized graphs SLiMFast compiles
+	// to — samples each latent variable from its own decorrelated
+	// stream (seeded by Seed and the variable index alone). The path
+	// choice and the streams depend only on the config, never on the
+	// host's core count or scheduling, so the marginals are
+	// bit-identical for every Workers != 1 on every machine.
+	// Workers == 1 keeps the legacy single-stream sweep chain, which
+	// visits variables in order from one generator; graphs with
+	// latent-latent couplings also fall back to that chain, whose
+	// correctness does not admit independent per-variable sampling.
+	Workers int
 }
 
 // DefaultGibbsConfig returns settings adequate for the per-object
@@ -120,6 +136,12 @@ func (g *Graph) Gibbs(cfg GibbsConfig) ([][]float64, error) {
 	}
 	if cfg.Burnin < 0 {
 		return nil, errors.New("factor: Burnin must be non-negative")
+	}
+	// The path choice keys off the configured Workers, not the resolved
+	// host parallelism: the same config must sample the same marginals
+	// on a 1-core laptop and a 64-core runner.
+	if cfg.Workers != 1 && g.latentsIndependent() {
+		return g.gibbsIndependent(cfg), nil
 	}
 	rng := randx.New(cfg.Seed)
 	n := len(g.card)
@@ -179,6 +201,83 @@ func (g *Graph) Gibbs(cfg GibbsConfig) ([][]float64, error) {
 		}
 	}
 	return counts, nil
+}
+
+// latentsIndependent reports whether no factor couples two latent
+// variables, i.e. the posterior factorizes over variables and each
+// latent variable's full conditional is constant across sweeps.
+func (g *Graph) latentsIndependent() bool {
+	for _, f := range g.factors {
+		latent := 0
+		for _, v := range f.Vars {
+			if g.evidence[v] < 0 {
+				latent++
+			}
+		}
+		if latent > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// gibbsIndependent samples each latent variable from its own chain.
+// With no latent-latent couplings a variable's full conditional never
+// changes, so its draws are i.i.d. from one fixed softmax — no mixing
+// is needed and Burnin is skipped entirely, leaving Samples categorical
+// draws per variable. Each variable draws from a stream derived from
+// (Seed, variable index) alone, making the marginals a deterministic
+// function of the config — bit-identical for every worker count — while
+// the per-object chains fan out over the workers.
+func (g *Graph) gibbsIndependent(cfg GibbsConfig) [][]float64 {
+	n := len(g.card)
+	counts := make([][]float64, n)
+	total := float64(cfg.Samples)
+	parallel.Do(n, cfg.Workers, func(ch parallel.Chunk) {
+		var scores, probs []float64
+		var vals []int
+		for v := ch.Lo; v < ch.Hi; v++ {
+			out := make([]float64, g.card[v])
+			counts[v] = out
+			if g.evidence[v] >= 0 {
+				out[g.evidence[v]] = 1
+				continue
+			}
+			if cap(scores) < g.card[v] {
+				scores = make([]float64, g.card[v])
+			}
+			scores = scores[:g.card[v]]
+			for d := range scores {
+				scores[d] = 0
+				for _, fi := range g.varFactors[v] {
+					f := &g.factors[fi]
+					if cap(vals) < len(f.Vars) {
+						vals = make([]int, len(f.Vars))
+					}
+					vals = vals[:len(f.Vars)]
+					for j, fv := range f.Vars {
+						if fv == v {
+							vals[j] = d
+						} else {
+							// Independence guarantees every other
+							// variable in the factor is evidence.
+							vals[j] = g.evidence[fv]
+						}
+					}
+					scores[d] += f.Weight * f.Potential(vals)
+				}
+			}
+			probs = mathx.Softmax(scores, probs)
+			rng := randx.New(randx.Mix(cfg.Seed, int64(v)))
+			for s := 0; s < cfg.Samples; s++ {
+				out[rng.Categorical(probs)]++
+			}
+			for d := range out {
+				out[d] /= total
+			}
+		}
+	})
+	return counts
 }
 
 // MAP returns the marginal-MAP assignment from a Gibbs run: each

@@ -1,0 +1,160 @@
+package factor
+
+import (
+	"math"
+	"testing"
+)
+
+// buildUnaryGraph compiles a small fully factorized graph: every factor
+// is unary, matching the structure SLiMFast's Equation 4 compiles to.
+func buildUnaryGraph(t *testing.T) *Graph {
+	t.Helper()
+	var g Graph
+	weights := [][]float64{
+		{1.2, -0.3, 0.1},
+		{0.0, 0.9},
+		{-0.5, 0.5, 1.5, -1.0},
+		{2.0, 0.0},
+	}
+	for v, ws := range weights {
+		id := g.AddVariable(len(ws))
+		for d, w := range ws {
+			if err := g.AddFactor(Factor{Vars: []int{id}, Weight: w, Potential: IndicatorEquals(d)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = v
+	}
+	if err := g.SetEvidence(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	return &g
+}
+
+// TestGibbsIndependentChainsDeterministic: with a factorized graph the
+// parallel sampler draws each variable from its own (Seed, variable)
+// stream, so marginals are bit-identical for every worker count > 1.
+func TestGibbsIndependentChainsDeterministic(t *testing.T) {
+	g := buildUnaryGraph(t)
+	run := func(workers int) [][]float64 {
+		m, err := g.Gibbs(GibbsConfig{Burnin: 20, Samples: 500, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Workers=0 (the default: GOMAXPROCS fan-out) must match any
+	// explicit count — the streams depend only on (Seed, variable).
+	m0, m2, m8 := run(0), run(2), run(8)
+	for v := range m2 {
+		for d := range m2[v] {
+			if m2[v][d] != m8[v][d] || m2[v][d] != m0[v][d] {
+				t.Fatalf("marginal[%d][%d] differs across worker counts: %v / %v / %v", v, d, m0[v][d], m2[v][d], m8[v][d])
+			}
+		}
+	}
+	// Evidence stays a point mass.
+	if m2[3][1] != 1 || m2[3][0] != 0 {
+		t.Fatalf("evidence marginal = %v, want point mass on 1", m2[3])
+	}
+}
+
+// TestGibbsIndependentChainsMatchExact: the independent-chain sampler
+// must estimate the same distribution the closed form computes.
+func TestGibbsIndependentChainsMatchExact(t *testing.T) {
+	g := buildUnaryGraph(t)
+	exact, err := g.ExactMarginalsSingleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := g.Gibbs(GibbsConfig{Burnin: 50, Samples: 20000, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact {
+		for d := range exact[v] {
+			if diff := math.Abs(exact[v][d] - sampled[v][d]); diff > 0.02 {
+				t.Errorf("marginal[%d][%d]: exact %v vs sampled %v (diff %v)", v, d, exact[v][d], sampled[v][d], diff)
+			}
+		}
+	}
+}
+
+// TestGibbsCoupledLatentsFallBack: a factor over two latent variables
+// rules out independent chains, so any worker count must reproduce the
+// legacy single-stream sweep chain exactly.
+func TestGibbsCoupledLatentsFallBack(t *testing.T) {
+	build := func() *Graph {
+		var g Graph
+		a := g.AddVariable(2)
+		b := g.AddVariable(2)
+		if err := g.AddFactor(Factor{Vars: []int{a}, Weight: 0.7, Potential: IndicatorEquals(1)}); err != nil {
+			t.Fatal(err)
+		}
+		// Coupling: reward agreement between the two latents.
+		agree := func(vals []int) float64 {
+			if vals[0] == vals[1] {
+				return 1
+			}
+			return 0
+		}
+		if err := g.AddFactor(Factor{Vars: []int{a, b}, Weight: 1.1, Potential: agree}); err != nil {
+			t.Fatal(err)
+		}
+		return &g
+	}
+	g := build()
+	if g.latentsIndependent() {
+		t.Fatal("coupled graph misclassified as independent")
+	}
+	cfg := GibbsConfig{Burnin: 10, Samples: 300, Seed: 11}
+	serial, err := g.Gibbs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 6
+	parallelRun, err := g.Gibbs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range serial {
+		for d := range serial[v] {
+			if serial[v][d] != parallelRun[v][d] {
+				t.Fatalf("coupled graph: workers=6 diverged from the sweep chain at [%d][%d]", v, d)
+			}
+		}
+	}
+}
+
+// TestGibbsIndependentEvidenceCoupling: factors joining a latent to an
+// evidence variable keep chains independent (the evidence side is a
+// constant), and the conditional must reflect the pinned value.
+func TestGibbsIndependentEvidenceCoupling(t *testing.T) {
+	var g Graph
+	a := g.AddVariable(2)
+	e := g.AddVariable(2)
+	if err := g.SetEvidence(e, 1); err != nil {
+		t.Fatal(err)
+	}
+	match := func(vals []int) float64 {
+		if vals[0] == vals[1] {
+			return 1
+		}
+		return 0
+	}
+	if err := g.AddFactor(Factor{Vars: []int{a, e}, Weight: 2.0, Potential: match}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.latentsIndependent() {
+		t.Fatal("latent-evidence coupling misclassified as dependent")
+	}
+	m, err := g.Gibbs(GibbsConfig{Burnin: 50, Samples: 20000, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(a=1) = logistic(2.0) ≈ 0.881.
+	want := 1 / (1 + math.Exp(-2.0))
+	if diff := math.Abs(m[a][1] - want); diff > 0.02 {
+		t.Errorf("P(a=1) = %v, want ≈ %v", m[a][1], want)
+	}
+}

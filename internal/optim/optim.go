@@ -59,6 +59,18 @@ type Config struct {
 	// shards; <= 0 means runtime.GOMAXPROCS(0). Ignored when Batch <= 1
 	// (the serial path has no intra-step parallelism to exploit).
 	Workers int
+
+	// BatchStart, when set and Batch > 1, is called once per minibatch
+	// with the frozen weight vector before the batch's gradient shards
+	// are dispatched. Models use it to refresh caches that are pure
+	// functions of the weights (SLiMFast's σ-table) exactly once per
+	// weight freeze instead of per example. It runs on the applier
+	// goroutine, ordered before the shard fan-out and after the
+	// previous step's update, so implementations may mutate state the
+	// gradient callbacks read. Ignored when Batch <= 1: the sequential
+	// path updates weights every step, so there is no frozen phase to
+	// cache against.
+	BatchStart func(w []float64)
 }
 
 // DefaultConfig returns the settings used throughout the reproduction:
@@ -183,11 +195,12 @@ func Minimize(n int, w []float64, grad GradFunc, cfg Config) (Result, error) {
 		accum = make([]float64, len(w))
 	}
 	prev := make([]float64, len(w))
+	order := make([]int, n) // reused across epochs; same stream as Shuffled
 	var res Result
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		copy(prev, w)
-		order := rng.Shuffled(n)
+		rng.ShuffleRange(order)
 		for _, i := range order {
 			g.Reset()
 			grad(i, w, g)
@@ -245,7 +258,7 @@ func minimizeMinibatch(n int, w []float64, grad GradFunc, cfg Config) (Result, e
 	// The main goroutine writes the batch state (order, base, w)
 	// before the channel sends and reads the shards after wg.Wait(),
 	// so the pool sees a frozen batch and the merge stays ordered.
-	var order []int
+	order := make([]int, n)
 	base := 0
 	var tasks chan parallel.Chunk
 	var wg sync.WaitGroup
@@ -291,13 +304,19 @@ func minimizeMinibatch(n int, w []float64, grad GradFunc, cfg Config) (Result, e
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		copy(prev, w)
-		order = rng.Shuffled(n)
+		rng.ShuffleRange(order)
 		for lo := 0; lo < n; lo += batch {
 			hi := lo + batch
 			if hi > n {
 				hi = n
 			}
 			k := hi - lo
+			// The weights are frozen until this batch's update is
+			// applied; let the model refresh its weight-derived caches
+			// once per freeze.
+			if cfg.BatchStart != nil {
+				cfg.BatchStart(w)
+			}
 			gradBatch(lo, k)
 			merged.Reset()
 			for p := 0; p < k; p++ {

@@ -164,11 +164,25 @@ func (r *RNG) Gamma(shape float64) float64 {
 // Shuffled returns a new slice [0, n) in random order.
 func (r *RNG) Shuffled(n int) []int {
 	idx := make([]int, n)
+	r.ShuffleRange(idx)
+	return idx
+}
+
+// ShuffleRange fills idx with [0, len(idx)) and shuffles it in place,
+// consuming the same stream as Shuffled(len(idx)) — callers reuse one
+// buffer across epochs without changing the visit order.
+func (r *RNG) ShuffleRange(idx []int) {
 	for i := range idx {
 		idx[i] = i
 	}
-	r.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-	return idx
+	r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// Mix derives a decorrelated child seed from a master seed and an
+// integer stream label via splitmix64; the integer analogue of
+// DeriveSeed for hot paths that must not allocate label strings.
+func Mix(master, stream int64) int64 {
+	return int64(splitmix64(splitmix64(uint64(master)) ^ splitmix64(uint64(stream)+0x9e3779b97f4a7c15)))
 }
 
 // SampleWithoutReplacement returns k distinct values from [0, n) in

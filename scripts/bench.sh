@@ -1,15 +1,17 @@
 #!/bin/sh
-# bench.sh [output.json] — run the core micro-benchmarks and write a
-# JSON snapshot (name, iterations, ns/op per benchmark plus the host
-# shape) used to track the performance trajectory across PRs.
+# bench.sh [output.json] — run the core micro-benchmarks with -benchmem
+# and write a JSON snapshot (name, iterations, ns/op, B/op, allocs/op
+# per benchmark plus the host shape) used to track the performance
+# trajectory across PRs. Compare two snapshots with scripts/benchdiff.
 set -eu
 
-OUT="${1:-BENCH_1.json}"
+OUT="${1:-BENCH_2.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
 	-bench '^(BenchmarkCoreEMFit|BenchmarkCoreERMFit|BenchmarkCoreExactInference|BenchmarkOptimizerDecide|BenchmarkFacadeSolve)$' \
+	-benchmem \
 	. | tee "$TMP"
 
 {
@@ -18,7 +20,7 @@ go test -run '^$' \
 	printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
 	printf '  "benchmarks": [\n'
 	awk '/^Benchmark/ {
-		printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", sep, $1, $2, $3
+		printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $1, $2, $3, $5, $7
 		sep = ",\n"
 	} END { print "" }' "$TMP"
 	printf '  ]\n'

@@ -232,7 +232,7 @@ func (r *Report) Confidence(object string) float64 {
 	if !ok {
 		return 0
 	}
-	return r.result.Posteriors[o][v]
+	return r.result.Posterior(o)[v]
 }
 
 // Posterior returns the full posterior over the values sources claimed
@@ -242,7 +242,7 @@ func (r *Report) Posterior(object string) map[string]float64 {
 	if !ok {
 		return nil
 	}
-	post := r.result.Posteriors[o]
+	post := r.result.Posterior(o)
 	if post == nil {
 		return nil
 	}
