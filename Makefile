@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-full bench benchdiff
+.PHONY: build vet test test-full bench benchdiff lint
 
 ## build: compile every package
 build:
@@ -19,11 +19,16 @@ test-full:
 	$(GO) test -race ./...
 
 ## bench: run the core micro-benchmarks (with -benchmem) and snapshot
-## them to BENCH_2.json (the perf trajectory; bump the number per PR)
+## them to BENCH_3.json (the perf trajectory; bump the number per PR)
 bench:
-	./scripts/bench.sh BENCH_2.json
+	./scripts/bench.sh BENCH_3.json
 
-## benchdiff: fail if BENCH_2.json regresses >10% vs BENCH_1.json in
+## benchdiff: fail if BENCH_3.json regresses >10% vs BENCH_2.json in
 ## ns/op or allocs/op (see scripts/benchdiff for arbitrary snapshots)
 benchdiff:
-	./scripts/benchdiff BENCH_1.json BENCH_2.json
+	./scripts/benchdiff BENCH_2.json BENCH_3.json
+
+## lint: formatting + static analysis, the fast-fail CI gate
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...

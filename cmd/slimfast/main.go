@@ -5,6 +5,9 @@
 //	slimfast -obs observations.csv [-features features.csv] [-truth truth.csv] \
 //	         [-algorithm auto|erm|em] [-copy N] [-values out.csv] [-accuracies out.csv]
 //	slimfast -json dataset.json [...]
+//	slimfast stream [-obs observations.csv|-] [-shards N] [-workers N] [-epoch N] \
+//	         [-max-objects N] [-decay f] [-every N] [-watch o1,o2] [-refine N] \
+//	         [-values out.csv] [-accuracies out.csv]
 //
 // The observations CSV has a "source,object,value" header; features
 // "source,feature"; truth "object,value". With -json, a single document
@@ -12,6 +15,12 @@
 // three CSVs. Fused values and estimated source accuracies are written
 // as CSV (stdout by default, dash-separated into the two -values /
 // -accuracies files when given).
+//
+// The stream subcommand ingests the observations CSV (or stdin with
+// -obs -) through the sharded incremental engine instead of the batch
+// pipeline: claims are consumed row by row, rolling status lines and
+// -watch'd object estimates are emitted every -every observations, and
+// the final estimates come from an exact -refine re-sweep.
 package main
 
 import (
@@ -34,6 +43,9 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "stream" {
+		return runStream(args[1:], os.Stdin, stdout)
+	}
 	fs := flag.NewFlagSet("slimfast", flag.ContinueOnError)
 	obsPath := fs.String("obs", "", "observations CSV (source,object,value)")
 	featPath := fs.String("features", "", "source features CSV (source,feature)")

@@ -1,0 +1,161 @@
+// The `slimfast stream` subcommand: ingest a claim stream from CSV or
+// stdin through the sharded incremental engine and emit rolling
+// estimates, instead of the batch compile-and-fit pipeline of the bare
+// command.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"slimfast/internal/data"
+	"slimfast/internal/stream"
+)
+
+// runStream implements `slimfast stream`. Claims are read row by row
+// (never materializing the dataset), ingested through the sharded
+// engine in deterministic batches, and summarized as rolling status
+// lines plus final values/accuracies CSVs.
+func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("slimfast stream", flag.ContinueOnError)
+	obsPath := fs.String("obs", "-", "observations CSV (source,object,value); - reads stdin")
+	shards := fs.Int("shards", 0, "object shards (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "ingest/refine goroutines (0 = GOMAXPROCS)")
+	epoch := fs.Int("epoch", 0, "observations per accuracy epoch (0 = default)")
+	maxObjects := fs.Int("max-objects", 0, "bound live objects, LRU-evicting beyond (0 = unbounded)")
+	decay := fs.Float64("decay", 1, "per-observation evidence decay in (0,1]; 1 = never forget")
+	batch := fs.Int("batch", 1024, "claims per deterministic parallel ingest batch")
+	every := fs.Int("every", 0, "emit a rolling status line every N observations (0 = off)")
+	watch := fs.String("watch", "", "comma-separated object names whose rolling estimates to emit")
+	refine := fs.Int("refine", 2, "exact re-sweeps before the final output")
+	valuesOut := fs.String("values", "", "write final estimates CSV here (default stdout)")
+	accOut := fs.String("accuracies", "", "write final source accuracies CSV here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := stream.DefaultEngineOptions()
+	opts.Shards = *shards
+	opts.Workers = *workers
+	opts.EpochLength = *epoch
+	opts.MaxObjects = *maxObjects
+	opts.Decay = *decay
+	eng, err := stream.NewEngine(opts)
+	if err != nil {
+		return err
+	}
+	var watched []string
+	if *watch != "" {
+		watched = strings.Split(*watch, ",")
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+
+	in := stdin
+	if *obsPath != "-" && *obsPath != "" {
+		f, err := os.Open(*obsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	status := func(n int64) {
+		st := eng.Stats()
+		fmt.Fprintf(stdout, "# obs=%d sources=%d objects=%d epoch=%d evicted=%d\n",
+			n, st.Sources, st.Objects, st.Epoch, st.EvictedObjects)
+		for _, o := range watched {
+			if v, conf, ok := eng.Value(o); ok {
+				fmt.Fprintf(stdout, "# watch %s = %s (%.4f)\n", o, v, conf)
+			} else {
+				fmt.Fprintf(stdout, "# watch %s = ? (unseen or evicted)\n", o)
+			}
+		}
+	}
+
+	// Ingest in fixed-size batches: the batch boundary (not the worker
+	// count) determines epoch turnover, so a re-run of the same stream
+	// with different -workers produces bit-identical output.
+	buf := make([]stream.Triple, 0, *batch)
+	var n, lastTick int64
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		eng.ObserveBatch(buf)
+		n += int64(len(buf))
+		buf = buf[:0]
+		if *every > 0 && n-lastTick >= int64(*every) {
+			lastTick = n
+			status(n)
+		}
+	}
+	err = data.StreamObservationsCSV(in, func(source, object, value string) error {
+		buf = append(buf, stream.Triple{Source: source, Object: object, Value: value})
+		if len(buf) == cap(buf) {
+			flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	flush()
+	if n == 0 {
+		return fmt.Errorf("no observations in %s", *obsPath)
+	}
+
+	eng.Refine(*refine)
+	st := eng.Stats()
+	fmt.Fprintf(stdout, "# fused %d live objects from %d sources (%d observations, %d evicted) via %d-shard stream\n",
+		st.Objects, st.Sources, st.Observations, st.EvictedObjects, st.Shards)
+
+	if err := writeStreamValues(*valuesOut, stdout, eng); err != nil {
+		return err
+	}
+	return writeStreamAccuracies(*accOut, stdout, eng)
+}
+
+func writeStreamValues(path string, stdout io.Writer, eng *stream.Engine) error {
+	w, closeFn, err := openOut(path, stdout)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"object", "value", "confidence"}); err != nil {
+		return err
+	}
+	for _, est := range eng.EstimateAll() {
+		if err := cw.Write([]string{est.Object, est.Value, fmt.Sprintf("%.4f", est.Confidence)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeStreamAccuracies(path string, stdout io.Writer, eng *stream.Engine) error {
+	w, closeFn, err := openOut(path, stdout)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"source", "accuracy"}); err != nil {
+		return err
+	}
+	for _, s := range eng.Sources() {
+		if err := cw.Write([]string{s, fmt.Sprintf("%.4f", eng.SourceAccuracy(s))}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,7 +1,8 @@
-// Streaming: fuse a live feed of claims one observation at a time
-// (the single-pass regime of the paper's related-work section), then
-// hand the accumulated stream to the batch SLiMFast pipeline for a
-// final offline refit.
+// Streaming: fuse a live feed of claims through the sharded
+// incremental engine (the single-pass regime of the paper's
+// related-work section), watch the estimates sharpen as evidence
+// arrives, run the exact re-sweep, then hand the accumulated stream to
+// the batch SLiMFast pipeline for a final offline refit.
 //
 //	go run ./examples/streaming
 package main
@@ -37,17 +38,25 @@ func run(w io.Writer) error {
 		return err
 	}
 	ds := inst.Dataset
-	type triple struct{ s, o, v string }
-	arrivals := make([]triple, 0, ds.NumObservations())
+	arrivals := make([]stream.Triple, 0, ds.NumObservations())
 	for _, ob := range ds.Observations {
-		arrivals = append(arrivals, triple{
-			ds.SourceNames[ob.Source], ds.ObjectNames[ob.Object], ds.ValueNames[ob.Value],
+		arrivals = append(arrivals, stream.Triple{
+			Source: ds.SourceNames[ob.Source],
+			Object: ds.ObjectNames[ob.Object],
+			Value:  ds.ValueNames[ob.Value],
 		})
 	}
 	rng := randx.New(12)
 	rng.Shuffle(len(arrivals), func(i, j int) { arrivals[i], arrivals[j] = arrivals[j], arrivals[i] })
 
-	f, err := stream.New(stream.DefaultOptions())
+	// A 4-shard engine with a 512-observation accuracy epoch: batches
+	// ingest in parallel, yet the run is bit-identical for any worker
+	// count because shards only couple through the frozen σ-table.
+	opts := stream.DefaultEngineOptions()
+	opts.Shards = 4
+	opts.Workers = 4
+	opts.EpochLength = 512
+	f, err := stream.NewEngine(opts)
 	if err != nil {
 		return err
 	}
@@ -70,14 +79,18 @@ func run(w io.Writer) error {
 	}
 
 	fmt.Fprintln(w, "claims ingested -> accuracy on objects seen so far")
-	for i, tr := range arrivals {
-		f.Observe(tr.s, tr.o, tr.v)
-		if (i+1)%(len(arrivals)/5) == 0 {
-			fmt.Fprintf(w, "  %6d -> %.3f\n", i+1, score())
+	const batch = 512
+	for lo := 0; lo < len(arrivals); lo += batch {
+		hi := lo + batch
+		if hi > len(arrivals) {
+			hi = len(arrivals)
 		}
+		f.ObserveBatch(arrivals[lo:hi])
+		fmt.Fprintf(w, "  %6d -> %.3f\n", hi, score())
 	}
 	f.Refine(2)
-	fmt.Fprintf(w, "after Refine sweeps   -> %.3f\n", score())
+	st := f.Stats()
+	fmt.Fprintf(w, "after Refine sweeps   -> %.3f  (%d shards, epoch %d)\n", score(), st.Shards, st.Epoch)
 
 	// Offline refit: export the accumulated claims and run batch EM.
 	snap, _ := f.Snapshot("snapshot")

@@ -17,6 +17,9 @@ func TestRunSmoke(t *testing.T) {
 	if !strings.Contains(out, "claims ingested -> accuracy on objects seen so far") {
 		t.Errorf("missing ingest header:\n%s", out)
 	}
+	if !strings.Contains(out, "(4 shards, epoch") {
+		t.Errorf("missing sharded-engine summary:\n%s", out)
+	}
 	if !strings.Contains(out, "batch EM refit") {
 		t.Errorf("missing batch refit line:\n%s", out)
 	}

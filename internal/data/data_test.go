@@ -2,6 +2,7 @@ package data
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -393,5 +394,44 @@ func TestTruthFromNamesUnknownValue(t *testing.T) {
 func TestFormatFloat(t *testing.T) {
 	if got := FormatFloat(0.123456, 3); got != "0.123" {
 		t.Errorf("FormatFloat = %q", got)
+	}
+}
+
+func TestStreamObservationsCSV(t *testing.T) {
+	in := "source,object,value\ns1,o1,a\ns2,o1,b\ns1,o2,a\n"
+	var got [][3]string
+	err := StreamObservationsCSV(strings.NewReader(in), func(s, o, v string) error {
+		got = append(got, [3]string{s, o, v})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][3]string{{"s1", "o1", "a"}, {"s2", "o1", "b"}, {"s1", "o2", "a"}}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// fn errors stop the scan and propagate.
+	stop := errors.New("stop")
+	n := 0
+	err = StreamObservationsCSV(strings.NewReader(in), func(s, o, v string) error {
+		n++
+		return stop
+	})
+	if !errors.Is(err, stop) || n != 1 {
+		t.Errorf("fn error not propagated: err=%v after %d rows", err, n)
+	}
+
+	// Malformed rows error out.
+	if err := StreamObservationsCSV(strings.NewReader("source,object,value\nonly,two\n"), func(s, o, v string) error {
+		return nil
+	}); err == nil {
+		t.Error("short row should error")
 	}
 }

@@ -94,6 +94,39 @@ func ReadObservationsCSV(r io.Reader, b *Builder) error {
 	}
 }
 
+// StreamObservationsCSV reads the observations CSV and invokes fn for
+// every row without materializing a Dataset — the ingest path for
+// stream processing, where claims are consumed one at a time and the
+// full Ω never needs to exist in memory. The record slice is reused
+// between reads, but the field strings are freshly allocated per row
+// (encoding/csv backs each record's fields by one new string), so fn
+// may retain them. Returning an error from fn stops the scan and
+// propagates the error.
+func StreamObservationsCSV(r io.Reader, fn func(source, object, value string) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.ReuseRecord = true
+	header := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("data: observations csv: %w", err)
+		}
+		if header {
+			header = false
+			if rec[0] == "source" {
+				continue
+			}
+		}
+		if err := fn(rec[0], rec[1], rec[2]); err != nil {
+			return err
+		}
+	}
+}
+
 // ReadFeaturesCSV parses the features CSV into a Builder. Sources named
 // here but absent from the observations are created (with no
 // observations), which is how Figure 7's "unseen sources" enter the

@@ -195,6 +195,27 @@ func For(n, workers int, fn func(i int)) {
 	})
 }
 
+// Map computes fn(i) for every i in [0, n) with up to workers
+// goroutines and returns the results in index order. Each result slot
+// is owned by its index, so the output is deterministic for any worker
+// count and any chunking. Unlike MapChunks — whose chunk layout targets
+// fine-grained index spaces and collapses small n into a single chunk —
+// Map fans out even for small n (one chunk per worker at least), which
+// makes it the right primitive for coarse-grained per-shard or
+// per-partition work.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	Do(n, workers, func(ch Chunk) {
+		for i := ch.Lo; i < ch.Hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}
+
 // MapChunks computes fn per chunk and returns the per-chunk results in
 // chunk order — the deterministic ordered reduction the callers fold
 // over.

@@ -196,3 +196,36 @@ func TestEmptyRanges(t *testing.T) {
 		t.Errorf("DoErr over empty range = %v", err)
 	}
 }
+
+func TestMapIndexOrderedAcrossWorkers(t *testing.T) {
+	const n = 11 // deliberately small: Map must still fan out
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := Map(n, workers, func(i int) int { return i * i })
+		if len(got) != n {
+			t.Fatalf("workers=%d: len = %d, want %d", workers, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: Map[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if out := Map(0, 4, func(i int) int { return i }); out != nil {
+		t.Errorf("Map over empty range = %v, want nil", out)
+	}
+}
+
+func TestMapRunsConcurrently(t *testing.T) {
+	var calls atomic.Int64
+	Map(8, 4, func(i int) int {
+		calls.Add(1)
+		return i
+	})
+	if calls.Load() != 8 {
+		t.Errorf("Map invoked fn %d times, want 8", calls.Load())
+	}
+}

@@ -86,11 +86,19 @@ func New(opts Options) (*Fuser, error) {
 	}, nil
 }
 
+// smoothedAccuracy is the one place the accuracy estimator lives: the
+// prior-smoothed agreement ratio, clamped away from {0,1} so logits
+// stay bounded. Both the Fuser and the sharded Engine (epoch refresh
+// and Refine alike) must use it, or their fixed points drift apart.
+func smoothedAccuracy(opts Options, agree, total float64) float64 {
+	num := opts.InitAccuracy*opts.PriorStrength + agree
+	den := opts.PriorStrength + total
+	return mathx.Clamp(num/den, 0.02, 0.98)
+}
+
 // accuracy returns the current smoothed accuracy of a source state.
 func (f *Fuser) accuracy(st *sourceState) float64 {
-	num := f.opts.InitAccuracy*f.opts.PriorStrength + st.agree
-	den := f.opts.PriorStrength + st.total
-	return mathx.Clamp(num/den, 0.02, 0.98)
+	return smoothedAccuracy(f.opts, st.agree, st.total)
 }
 
 // sigma returns the voting weight (log odds) of a source.
@@ -103,11 +111,19 @@ func (f *Fuser) sigma(name string) float64 {
 }
 
 // recomputePosterior rebuilds an object's posterior from its claims
-// under the current source weights and returns it.
+// under the current source weights and returns it. Claims are folded
+// in sorted source order: several sources voting for the same value
+// share one float accumulator, so map iteration order would otherwise
+// make the sum (and the posterior bits) vary run to run.
 func (f *Fuser) recomputePosterior(obj *objectState) map[string]float64 {
+	srcs := make([]string, 0, len(obj.claims))
+	for src := range obj.claims {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
 	scores := map[string]float64{}
-	for src, val := range obj.claims {
-		scores[val] += f.sigma(src)
+	for _, src := range srcs {
+		scores[obj.claims[src]] += f.sigma(src)
 	}
 	// Stable ordering for the softmax input.
 	vals := make([]string, 0, len(scores))
@@ -208,10 +224,25 @@ func (f *Fuser) SourceAccuracy(source string) float64 {
 	return f.accuracy(st)
 }
 
-// Estimates returns the MAP value of every known object.
+// sortedObjectNames returns the known object names in ascending
+// order — the canonical iteration order for everything that sums
+// floats or emits output per object, so results are bit-identical
+// across runs instead of following Go's randomized map order.
+func (f *Fuser) sortedObjectNames() []string {
+	names := make([]string, 0, len(f.objects))
+	for name := range f.objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Estimates returns the MAP value of every known object, computed in
+// sorted object order so the underlying Value calls (and any caller
+// iterating the result via a sorted key list) are deterministic.
 func (f *Fuser) Estimates() map[string]string {
 	out := make(map[string]string, len(f.objects))
-	for name := range f.objects {
+	for _, name := range f.sortedObjectNames() {
 		if v, _, ok := f.Value(name); ok {
 			out[name] = v
 		}
@@ -230,13 +261,21 @@ func (f *Fuser) Stats() (sources, objects, observations int) {
 // sparingly (e.g. every N thousand observations); each sweep is
 // O(total claims).
 func (f *Fuser) Refine(sweeps int) {
+	if sweeps <= 0 {
+		return
+	}
+	// Sorted object order fixes the float accumulation order, making
+	// each sweep bit-identical across runs (map iteration order would
+	// perturb the per-source sums in the low bits).
+	names := f.sortedObjectNames()
 	for i := 0; i < sweeps; i++ {
 		// Re-derive accuracies from scratch under current posteriors.
 		for _, st := range f.sources {
 			st.agree = 0
 			st.total = 0
 		}
-		for _, obj := range f.objects {
+		for _, name := range names {
+			obj := f.objects[name]
 			for s, v := range obj.claims {
 				st := f.sources[s]
 				st.agree += obj.posterior[v]
@@ -244,7 +283,8 @@ func (f *Fuser) Refine(sweeps int) {
 			}
 		}
 		// Re-derive posteriors under the new accuracies.
-		for _, obj := range f.objects {
+		for _, name := range names {
+			obj := f.objects[name]
 			obj.posterior = f.recomputePosterior(obj)
 		}
 	}
@@ -252,16 +292,11 @@ func (f *Fuser) Refine(sweeps int) {
 
 // Snapshot exports the accumulated claims as an immutable Dataset plus
 // the current MAP estimates, for handing to the batch SLiMFast pipeline
-// (e.g. to fit domain features offline).
+// (e.g. to fit domain features offline). Objects and sources are
+// interned in sorted-name order so the export is deterministic.
 func (f *Fuser) Snapshot(name string) (*data.Dataset, data.TruthMap) {
 	b := data.NewBuilder(name)
-	// Deterministic interning order.
-	objNames := make([]string, 0, len(f.objects))
-	for o := range f.objects {
-		objNames = append(objNames, o)
-	}
-	sort.Strings(objNames)
-	for _, oname := range objNames {
+	for _, oname := range f.sortedObjectNames() {
 		obj := f.objects[oname]
 		srcNames := make([]string, 0, len(obj.claims))
 		for s := range obj.claims {
@@ -274,16 +309,8 @@ func (f *Fuser) Snapshot(name string) (*data.Dataset, data.TruthMap) {
 	}
 	ds := b.Freeze()
 	estimates := data.TruthMap{}
-	names, err := estimatesByName(f)
-	if err == nil {
-		tm, terr := data.TruthFromNames(ds, names)
-		if terr == nil {
-			estimates = tm
-		}
+	if tm, err := data.TruthFromNames(ds, f.Estimates()); err == nil {
+		estimates = tm
 	}
 	return ds, estimates
-}
-
-func estimatesByName(f *Fuser) (map[string]string, error) {
-	return f.Estimates(), nil
 }

@@ -290,3 +290,61 @@ func TestStreamDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestFuserSingleSourceConflict(t *testing.T) {
+	// A lone source flip-flopping on one object: the claim is replaced
+	// each time, so the posterior must stay a point mass on the latest
+	// value (no ghost mass on abandoned values).
+	f, _ := New(DefaultOptions())
+	f.Observe("s1", "o", "a")
+	f.Observe("s1", "o", "b")
+	f.Observe("s1", "o", "a")
+	v, conf, ok := f.Value("o")
+	if !ok || v != "a" {
+		t.Fatalf("Value = %q (%v), want a", v, ok)
+	}
+	if math.Abs(conf-1) > 1e-12 {
+		t.Errorf("single-claimant posterior = %v, want 1", conf)
+	}
+}
+
+func TestFuserRefineZeroSweepsIsNoOp(t *testing.T) {
+	_, triples := streamInstance(t, 30)
+	f, _ := New(DefaultOptions())
+	for _, tr := range triples {
+		f.Observe(tr[0], tr[1], tr[2])
+	}
+	before := map[string]float64{}
+	for name := range f.sources {
+		before[name] = f.SourceAccuracy(name)
+	}
+	est := f.Estimates()
+	f.Refine(0)
+	f.Refine(-1)
+	for name, acc := range before {
+		if f.SourceAccuracy(name) != acc {
+			t.Fatalf("Refine(0) changed accuracy of %s", name)
+		}
+	}
+	after := f.Estimates()
+	for o, v := range est {
+		if after[o] != v {
+			t.Fatalf("Refine(0) changed estimate of %s", o)
+		}
+	}
+}
+
+func TestFuserZeroObservationState(t *testing.T) {
+	f, _ := New(DefaultOptions())
+	if _, _, ok := f.Value("ghost"); ok {
+		t.Error("empty fuser should know no objects")
+	}
+	if len(f.Estimates()) != 0 {
+		t.Error("empty fuser Estimates should be empty")
+	}
+	f.Refine(2) // must not panic with no objects
+	ds, est := f.Snapshot("empty")
+	if ds.NumObservations() != 0 || len(est) != 0 {
+		t.Error("empty snapshot should be empty")
+	}
+}

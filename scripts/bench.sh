@@ -5,12 +5,12 @@
 # trajectory across PRs. Compare two snapshots with scripts/benchdiff.
 set -eu
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_3.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench '^(BenchmarkCoreEMFit|BenchmarkCoreERMFit|BenchmarkCoreExactInference|BenchmarkOptimizerDecide|BenchmarkFacadeSolve)$' \
+	-bench '^(BenchmarkCoreEMFit|BenchmarkCoreERMFit|BenchmarkCoreExactInference|BenchmarkOptimizerDecide|BenchmarkFacadeSolve|BenchmarkStreamIngest)$' \
 	-benchmem \
 	. | tee "$TMP"
 
