@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-full bench benchdiff lint
+.PHONY: build vet test test-full bench benchdiff lint cover serve e2e
 
 ## build: compile every package
 build:
@@ -32,3 +32,19 @@ benchdiff:
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+
+## cover: streaming-engine coverage with the ratcheted >=80% gate CI
+## enforces; leaves cover.out for `go tool cover -html=cover.out`
+cover:
+	./scripts/covergate cover.out ./internal/stream/ 80
+
+## serve: run the streaming engine as an HTTP service on :8080 with a
+## durable checkpoint — restarting the target resumes where it left off
+serve:
+	$(GO) run ./cmd/slimfast stream -listen :8080 \
+		-checkpoint slimfast.ckpt -restore slimfast.ckpt
+
+## e2e: the full restart-determinism proof over the network (build,
+## serve, ingest over HTTP, checkpoint, kill -9, restore, byte-compare)
+e2e:
+	./scripts/e2e_restart.sh

@@ -7,7 +7,9 @@
 //	slimfast -json dataset.json [...]
 //	slimfast stream [-obs observations.csv|-] [-shards N] [-workers N] [-epoch N] \
 //	         [-max-objects N] [-decay f] [-every N] [-watch o1,o2] [-refine N] \
-//	         [-values out.csv] [-accuracies out.csv]
+//	         [-values out.csv] [-accuracies out.csv] \
+//	         [-checkpoint state.ckpt] [-restore state.ckpt]
+//	slimfast stream -listen :8080 [-checkpoint state.ckpt] [-restore state.ckpt] [-batch N]
 //
 // The observations CSV has a "source,object,value" header; features
 // "source,feature"; truth "object,value". With -json, a single document
@@ -21,6 +23,14 @@
 // pipeline: claims are consumed row by row, rolling status lines and
 // -watch'd object estimates are emitted every -every observations, and
 // the final estimates come from an exact -refine re-sweep.
+//
+// With -listen the stream subcommand serves an HTTP API instead of
+// reading a file: POST /observe ingests NDJSON or CSV claims, GET
+// /estimates and GET /sources report the live state, POST /checkpoint
+// and SIGTERM write a durable engine checkpoint to the -checkpoint
+// path, and -restore resumes from one — bit-identically, so a
+// restarted server converges to exactly the state of one that never
+// stopped. See the README's Operations section.
 package main
 
 import (

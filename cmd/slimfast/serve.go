@@ -1,0 +1,283 @@
+// The network serving mode behind `slimfast stream -listen`: an HTTP
+// API over the sharded engine, so the streaming reproduction runs as
+// a long-lived service — claims arrive over the wire, estimates are
+// queried live, and the engine state survives restarts through the
+// checkpoint endpoints and the SIGTERM handler.
+//
+// Endpoints:
+//
+//	POST /observe     ingest claims (NDJSON objects or text/csv rows)
+//	GET  /estimates   every live object's MAP value as CSV
+//	GET  /sources     source accuracies as CSV
+//	POST /checkpoint  write the engine checkpoint to the -checkpoint path
+//	GET  /healthz     liveness + engine stats as JSON
+//
+// Ingest requests are serialized: for a fixed sequence of /observe
+// bodies the engine state (and so the /estimates bytes) is identical
+// run to run and across checkpoint/restore restarts — the property
+// the e2e restart job in CI pins down.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"slimfast/internal/data"
+	"slimfast/internal/stream"
+)
+
+// streamServer wires the engine to the HTTP handlers.
+type streamServer struct {
+	eng      *stream.Engine
+	ckptPath string
+	batch    int
+	logw     io.Writer
+
+	// mu serializes ingest and checkpoint requests. Queries stay
+	// lock-free (the engine is concurrent-safe); the lock exists so a
+	// replayed request sequence deterministically reproduces the same
+	// engine state, checkpoints land on request boundaries, and the
+	// batch buffer is not shared between in-flight bodies.
+	mu sync.Mutex
+}
+
+func newStreamServer(eng *stream.Engine, ckptPath string, batch int, logw io.Writer) *streamServer {
+	if batch < 1 {
+		batch = 1
+	}
+	return &streamServer{eng: eng, ckptPath: ckptPath, batch: batch, logw: logw}
+}
+
+// handler builds the route table. Method matching is delegated to the
+// ServeMux patterns (wrong methods get 405 for free).
+func (s *streamServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /observe", s.handleObserve)
+	mux.HandleFunc("GET /estimates", s.handleEstimates)
+	mux.HandleFunc("GET /sources", s.handleSources)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// observation is one NDJSON ingest record.
+type observation struct {
+	Source string `json:"source"`
+	Object string `json:"object"`
+	Value  string `json:"value"`
+}
+
+// maxObserveBody caps one /observe request at 256 MiB: large enough
+// for bulk ingest chunks, small enough that a hostile or buggy client
+// cannot OOM the long-running service with a single unbounded body.
+// Bigger streams just arrive as multiple requests.
+const maxObserveBody = 256 << 20
+
+// handleObserve ingests a claim body. text/csv bodies use the
+// source,object,value exchange format (header row optional); anything
+// else is parsed as NDJSON. Claims feed the engine in fixed-size
+// deterministic batches, exactly like the CLI ingest loop.
+func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
+	// Read the whole body before taking the ingest lock: the lock is
+	// held at request granularity (the determinism unit), and a client
+	// trickling its body must not wedge every other ingest and
+	// checkpoint request behind it.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("observe: body exceeds %d bytes; split the stream into smaller requests", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]stream.Triple, 0, s.batch)
+	var n int64
+	flush := func() {
+		if len(buf) > 0 {
+			s.eng.ObserveBatch(buf)
+			n += int64(len(buf))
+			buf = buf[:0]
+		}
+	}
+	add := func(source, object, value string) error {
+		if source == "" || object == "" || value == "" {
+			return errors.New("source, object and value must all be non-empty")
+		}
+		buf = append(buf, stream.Triple{Source: source, Object: object, Value: value})
+		if len(buf) == cap(buf) {
+			flush()
+		}
+		return nil
+	}
+
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
+		err = data.StreamObservationsCSV(bytes.NewReader(body), add)
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		row := 0
+		for {
+			var ob observation
+			if derr := dec.Decode(&ob); derr == io.EOF {
+				break
+			} else if derr != nil {
+				err = fmt.Errorf("ndjson row %d: %w", row+1, derr)
+				break
+			}
+			row++
+			if aerr := add(ob.Source, ob.Object, ob.Value); aerr != nil {
+				err = fmt.Errorf("ndjson row %d: %w", row, aerr)
+				break
+			}
+		}
+	}
+	flush()
+	if err != nil {
+		// Claims before the bad row are already ingested; report both.
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: %v (ingested %d claims before the error)", err, n))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":     n,
+		"observations": s.eng.Stats().Observations,
+	})
+}
+
+// serveCSV renders through emit into a buffer first, so an emit
+// failure can still become a clean 500 — writing straight to the
+// ResponseWriter would commit a 200 before the error surfaced.
+func serveCSV(w http.ResponseWriter, emit func(io.Writer) error) {
+	var buf bytes.Buffer
+	if err := emit(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Write(buf.Bytes())
+}
+
+// handleEstimates serves the live MAP estimates as CSV — the same
+// bytes the CLI's -values output produces, which is what the restart
+// e2e test byte-compares.
+func (s *streamServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	serveCSV(w, func(out io.Writer) error { return writeEstimatesCSV(out, s.eng) })
+}
+
+// handleSources serves source accuracies as CSV.
+func (s *streamServer) handleSources(w http.ResponseWriter, r *http.Request) {
+	serveCSV(w, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
+}
+
+// handleCheckpoint durably checkpoints the engine to the configured
+// path and reports where the bytes went.
+func (s *streamServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.ckptPath == "" {
+		httpError(w, http.StatusConflict, "no -checkpoint path configured")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.WriteCheckpointFile(s.ckptPath); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	var size int64
+	if fi, err := os.Stat(s.ckptPath); err == nil {
+		size = fi.Size()
+	}
+	fmt.Fprintf(s.logw, "# checkpoint written to %s (%d bytes)\n", s.ckptPath, size)
+	writeJSON(w, http.StatusOK, map[string]any{"path": s.ckptPath, "bytes": size})
+}
+
+// handleHealthz reports liveness plus the engine counters.
+func (s *streamServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"shards":       st.Shards,
+		"sources":      st.Sources,
+		"objects":      st.Objects,
+		"observations": st.Observations,
+		"epoch":        st.Epoch,
+		"evicted":      st.EvictedObjects,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}
+
+// serveStream runs the HTTP service until SIGTERM/SIGINT or a fatal
+// listener error. On a signal it stops accepting, drains in-flight
+// requests, and — when a -checkpoint path is configured — writes a
+// final checkpoint so the next `-restore` boot resumes exactly here.
+func serveStream(eng *stream.Engine, addr, ckptPath string, batch int, stdout io.Writer) error {
+	s := newStreamServer(eng, ckptPath, batch, stdout)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is machine-readable on purpose: with
+	// -listen :0 it is how scripts discover the port.
+	fmt.Fprintf(stdout, "# listening on %s\n", ln.Addr())
+	// No ReadTimeout: large ingest bodies may legitimately take a
+	// while. Header and idle timeouts still shed dead connections.
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	var shutdownErr error
+	select {
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		fmt.Fprintf(stdout, "# signal received, draining connections\n")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		// A drain timeout (a client still holding a request) must not
+		// skip the final checkpoint — WriteCheckpoint is safe
+		// concurrent with ingest, so save what we have either way.
+		shutdownErr = srv.Shutdown(shutCtx)
+	case err := <-errc:
+		// A fatal listener error still falls through to the final
+		// checkpoint: the operator configured durability, and the
+		// engine state is intact even when the socket is not.
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			shutdownErr = err
+		}
+	}
+	if ckptPath != "" {
+		if err := eng.WriteCheckpointFile(ckptPath); err != nil {
+			return errors.Join(shutdownErr, err)
+		}
+		st := eng.Stats()
+		fmt.Fprintf(stdout, "# shutdown checkpoint written to %s (%d observations)\n", ckptPath, st.Observations)
+	}
+	return shutdownErr
+}

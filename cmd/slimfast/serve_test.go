@@ -1,0 +1,285 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"slimfast/internal/stream"
+)
+
+// ndjsonFromCSV rewrites the test stream as NDJSON ingest bodies.
+func ndjsonFromCSV(csvIn string) string {
+	var sb strings.Builder
+	lines := strings.Split(strings.TrimSpace(csvIn), "\n")
+	for _, line := range lines[1:] { // skip header
+		p := strings.SplitN(line, ",", 3)
+		fmt.Fprintf(&sb, "{\"source\":%q,\"object\":%q,\"value\":%q}\n", p[0], p[1], p[2])
+	}
+	return sb.String()
+}
+
+func doReq(t *testing.T, h http.Handler, method, path, contentType, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func testEngine(t *testing.T, workers int) *stream.Engine {
+	t.Helper()
+	opts := stream.DefaultEngineOptions()
+	opts.Shards = 4
+	opts.Workers = workers
+	opts.EpochLength = 128
+	e, err := stream.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestServeRestartDeterminism is the serving-layer half of the golden
+// restart guarantee: POST part one, checkpoint over HTTP, restart from
+// the checkpoint, POST part two — the /estimates and /sources bytes
+// must be identical to a server that ingested everything in one life.
+// Runs for one and four ingest workers.
+func TestServeRestartDeterminism(t *testing.T) {
+	all := strings.Split(strings.TrimSpace(ndjsonFromCSV(streamCSV(300))), "\n")
+	cut := 5 * len(all) / 9 // not a batch boundary: restart mid-epoch
+	part1 := strings.Join(all[:cut], "\n") + "\n"
+	part2 := strings.Join(all[cut:], "\n") + "\n"
+
+	for _, workers := range []int{1, 4} {
+		// One uninterrupted life.
+		hU := newStreamServer(testEngine(t, workers), "", 64, io.Discard).handler()
+		for _, body := range []string{part1, part2} {
+			if rec := doReq(t, hU, "POST", "/observe", "", body); rec.Code != http.StatusOK {
+				t.Fatalf("workers=%d: observe = %d: %s", workers, rec.Code, rec.Body)
+			}
+		}
+		wantEst := doReq(t, hU, "GET", "/estimates", "", "").Body.String()
+		wantSrc := doReq(t, hU, "GET", "/sources", "", "").Body.String()
+
+		// Ingest, checkpoint, die, restore, finish.
+		ckpt := filepath.Join(t.TempDir(), "srv.ckpt")
+		h1 := newStreamServer(testEngine(t, workers), ckpt, 64, io.Discard).handler()
+		if rec := doReq(t, h1, "POST", "/observe", "", part1); rec.Code != http.StatusOK {
+			t.Fatalf("workers=%d: part1 = %d: %s", workers, rec.Code, rec.Body)
+		}
+		if rec := doReq(t, h1, "POST", "/checkpoint", "", ""); rec.Code != http.StatusOK {
+			t.Fatalf("workers=%d: checkpoint = %d: %s", workers, rec.Code, rec.Body)
+		}
+		restored, err := stream.RestoreFile(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := newStreamServer(restored, ckpt, 64, io.Discard).handler()
+		if rec := doReq(t, h2, "POST", "/observe", "", part2); rec.Code != http.StatusOK {
+			t.Fatalf("workers=%d: part2 = %d: %s", workers, rec.Code, rec.Body)
+		}
+		if got := doReq(t, h2, "GET", "/estimates", "", "").Body.String(); got != wantEst {
+			t.Errorf("workers=%d: restored /estimates differ from uninterrupted run\ngot:\n%s\nwant:\n%s", workers, got, wantEst)
+		}
+		if got := doReq(t, h2, "GET", "/sources", "", "").Body.String(); got != wantSrc {
+			t.Errorf("workers=%d: restored /sources differ from uninterrupted run", workers)
+		}
+	}
+}
+
+func TestServeObserveCSVAndQueries(t *testing.T) {
+	h := newStreamServer(testEngine(t, 2), "", 32, io.Discard).handler()
+	rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(40))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("csv observe = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Ingested     int64 `json:"ingested"`
+		Observations int64 `json:"observations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ingested != 120 || resp.Observations != 120 {
+		t.Errorf("ingested %d / observations %d, want 120/120", resp.Ingested, resp.Observations)
+	}
+
+	est := doReq(t, h, "GET", "/estimates", "", "")
+	if ct := est.Header().Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("estimates content type = %q", ct)
+	}
+	if body := est.Body.String(); !strings.HasPrefix(body, "object,value,confidence\n") || !strings.Contains(body, "o000,t,") {
+		t.Errorf("estimates body:\n%s", body)
+	}
+	if body := doReq(t, h, "GET", "/sources", "", "").Body.String(); !strings.Contains(body, "good1,") {
+		t.Errorf("sources body:\n%s", body)
+	}
+
+	hz := doReq(t, h, "GET", "/healthz", "", "")
+	var health map[string]any
+	if err := json.Unmarshal(hz.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["observations"] != float64(120) {
+		t.Errorf("healthz = %v", health)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	h := newStreamServer(testEngine(t, 1), "", 32, io.Discard).handler()
+	if rec := doReq(t, h, "GET", "/observe", "", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /observe = %d, want 405", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/estimates", "", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /estimates = %d, want 405", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/checkpoint", "", ""); rec.Code != http.StatusConflict {
+		t.Errorf("checkpoint with no path = %d, want 409", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/observe", "", "{not json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ndjson = %d, want 400", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/observe", "", `{"source":"s","object":"","value":"v"}`+"\n"); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty object field = %d, want 400", rec.Code)
+	}
+	// A bad row after good ones still reports the prefix ingested.
+	body := `{"source":"s","object":"o","value":"v"}` + "\n" + "{broken\n"
+	rec := doReq(t, h, "POST", "/observe", "", body)
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "ingested 1 claims") {
+		t.Errorf("partial ingest = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// syncBuffer is an io.Writer safe for the cross-goroutine logging the
+// SIGTERM test does.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeStreamSIGTERM boots the real server loop on an ephemeral
+// port, ingests over TCP, delivers a real SIGTERM to the process, and
+// verifies the graceful path: drain, final checkpoint, clean exit,
+// and a restorable state.
+func TestServeStreamSIGTERM(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sig.ckpt")
+	eng := testEngine(t, 2)
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- serveStream(eng, "127.0.0.1:0", ckpt, 32, &out) }()
+
+	// Wait for the listen line and extract the bound address.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up; log:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "# listening on "); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := ndjsonFromCSV(streamCSV(20))
+	resp, err := http.Post("http://"+addr+"/observe", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe over TCP = %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveStream returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "# shutdown checkpoint written to ") {
+		t.Errorf("missing shutdown checkpoint line:\n%s", out.String())
+	}
+	restored, err := stream.RestoreFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs := restored.Stats().Observations; obs != 60 {
+		t.Errorf("restored observations = %d, want 60", obs)
+	}
+}
+
+// TestStreamSubcommandCheckpointRestore drives the batch-mode flags:
+// -checkpoint after a run, then -restore resuming with no new input.
+func TestStreamSubcommandCheckpointRestore(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "batch.ckpt")
+	var out bytes.Buffer
+	err := runStream([]string{"-shards", "2", "-checkpoint", ckpt},
+		strings.NewReader(streamCSV(50)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# checkpoint written to "+ckpt) {
+		t.Errorf("missing checkpoint line:\n%s", out.String())
+	}
+
+	// Resuming with an empty stdin is fine: the restored engine already
+	// holds the observations.
+	out.Reset()
+	err = runStream([]string{"-restore", ckpt}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# restored 50 objects from 3 sources (150 observations") {
+		t.Errorf("missing restore line:\n%s", s)
+	}
+	if !strings.Contains(s, "o000,t,") {
+		t.Errorf("restored run lost the estimates:\n%s", s)
+	}
+
+	// A missing checkpoint with -restore starts fresh and says so.
+	out.Reset()
+	err = runStream([]string{"-restore", filepath.Join(t.TempDir(), "nope.ckpt")},
+		strings.NewReader(streamCSV(5)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "starting fresh") {
+		t.Errorf("missing starting-fresh notice:\n%s", out.String())
+	}
+}

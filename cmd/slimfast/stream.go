@@ -1,11 +1,14 @@
 // The `slimfast stream` subcommand: ingest a claim stream from CSV or
 // stdin through the sharded incremental engine and emit rolling
 // estimates, instead of the batch compile-and-fit pipeline of the bare
-// command.
+// command. With -listen it becomes a long-running HTTP service (see
+// serve.go); with -checkpoint / -restore the engine state survives
+// process restarts bit for bit.
 package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,19 +37,42 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	refine := fs.Int("refine", 2, "exact re-sweeps before the final output")
 	valuesOut := fs.String("values", "", "write final estimates CSV here (default stdout)")
 	accOut := fs.String("accuracies", "", "write final source accuracies CSV here (default stdout)")
+	listen := fs.String("listen", "", "serve the HTTP ingest/query API on this address (e.g. :8080) instead of reading -obs")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file: written on POST /checkpoint and SIGTERM (serve mode) or after the final output (batch mode)")
+	restorePath := fs.String("restore", "", "resume from this checkpoint when it exists (engine flags like -shards then come from the checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := stream.DefaultEngineOptions()
-	opts.Shards = *shards
-	opts.Workers = *workers
-	opts.EpochLength = *epoch
-	opts.MaxObjects = *maxObjects
-	opts.Decay = *decay
-	eng, err := stream.NewEngine(opts)
-	if err != nil {
-		return err
+	var eng *stream.Engine
+	if *restorePath != "" {
+		switch restored, err := stream.RestoreFile(*restorePath); {
+		case err == nil:
+			eng = restored
+			st := eng.Stats()
+			fmt.Fprintf(stdout, "# restored %d objects from %d sources (%d observations, epoch %d) from %s\n",
+				st.Objects, st.Sources, st.Observations, st.Epoch, *restorePath)
+		case errors.Is(err, os.ErrNotExist):
+			// One command line serves both cold and warm boots.
+			fmt.Fprintf(stdout, "# no checkpoint at %s, starting fresh\n", *restorePath)
+		default:
+			return err
+		}
+	}
+	if eng == nil {
+		opts := stream.DefaultEngineOptions()
+		opts.Shards = *shards
+		opts.Workers = *workers
+		opts.EpochLength = *epoch
+		opts.MaxObjects = *maxObjects
+		opts.Decay = *decay
+		var err error
+		if eng, err = stream.NewEngine(opts); err != nil {
+			return err
+		}
+	}
+	if *listen != "" {
+		return serveStream(eng, *listen, *ckptPath, *batch, stdout)
 	}
 	var watched []string
 	if *watch != "" {
@@ -96,18 +122,17 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 			status(n)
 		}
 	}
-	err = data.StreamObservationsCSV(in, func(source, object, value string) error {
+	if err := data.StreamObservationsCSV(in, func(source, object, value string) error {
 		buf = append(buf, stream.Triple{Source: source, Object: object, Value: value})
 		if len(buf) == cap(buf) {
 			flush()
 		}
 		return nil
-	})
-	if err != nil {
+	}); err != nil {
 		return err
 	}
 	flush()
-	if n == 0 {
+	if n == 0 && eng.Stats().Observations == 0 {
 		return fmt.Errorf("no observations in %s", *obsPath)
 	}
 
@@ -119,15 +144,23 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := writeStreamValues(*valuesOut, stdout, eng); err != nil {
 		return err
 	}
-	return writeStreamAccuracies(*accOut, stdout, eng)
-}
-
-func writeStreamValues(path string, stdout io.Writer, eng *stream.Engine) error {
-	w, closeFn, err := openOut(path, stdout)
-	if err != nil {
+	if err := writeStreamAccuracies(*accOut, stdout, eng); err != nil {
 		return err
 	}
-	defer closeFn()
+	if *ckptPath != "" {
+		if err := eng.WriteCheckpointFile(*ckptPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "# checkpoint written to %s\n", *ckptPath)
+	}
+	return nil
+}
+
+// writeEstimatesCSV emits the final estimates in the exchange format.
+// The CLI's -values output and the server's GET /estimates share this
+// one emitter, so a served engine and a batch run produce comparable
+// bytes.
+func writeEstimatesCSV(w io.Writer, eng *stream.Engine) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"object", "value", "confidence"}); err != nil {
 		return err
@@ -141,12 +174,9 @@ func writeStreamValues(path string, stdout io.Writer, eng *stream.Engine) error 
 	return cw.Error()
 }
 
-func writeStreamAccuracies(path string, stdout io.Writer, eng *stream.Engine) error {
-	w, closeFn, err := openOut(path, stdout)
-	if err != nil {
-		return err
-	}
-	defer closeFn()
+// writeSourceAccuraciesCSV emits source accuracies; shared by the
+// CLI's -accuracies output and the server's GET /sources.
+func writeSourceAccuraciesCSV(w io.Writer, eng *stream.Engine) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"source", "accuracy"}); err != nil {
 		return err
@@ -158,4 +188,22 @@ func writeStreamAccuracies(path string, stdout io.Writer, eng *stream.Engine) er
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+func writeStreamValues(path string, stdout io.Writer, eng *stream.Engine) error {
+	w, closeFn, err := openOut(path, stdout)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	return writeEstimatesCSV(w, eng)
+}
+
+func writeStreamAccuracies(path string, stdout io.Writer, eng *stream.Engine) error {
+	w, closeFn, err := openOut(path, stdout)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	return writeSourceAccuraciesCSV(w, eng)
 }

@@ -1,13 +1,17 @@
 // Streaming: fuse a live feed of claims through the sharded
 // incremental engine (the single-pass regime of the paper's
 // related-work section), watch the estimates sharpen as evidence
-// arrives, run the exact re-sweep, then hand the accumulated stream to
-// the batch SLiMFast pipeline for a final offline refit.
+// arrives, checkpoint the engine mid-stream and prove a restored copy
+// finishes with identical estimates (the warm-restart guarantee
+// behind `slimfast stream -listen`), run the exact re-sweep, then
+// hand the accumulated stream to the batch SLiMFast pipeline for a
+// final offline refit.
 //
 //	go run ./examples/streaming
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"log"
@@ -80,14 +84,44 @@ func run(w io.Writer) error {
 
 	fmt.Fprintln(w, "claims ingested -> accuracy on objects seen so far")
 	const batch = 512
+	// Halfway through the stream, checkpoint the engine and restore a
+	// warm copy; both finish the ingest side by side.
+	half := len(arrivals) / batch / 2 * batch
+	var warm *stream.Engine
+	var ckptSize int
 	for lo := 0; lo < len(arrivals); lo += batch {
 		hi := lo + batch
 		if hi > len(arrivals) {
 			hi = len(arrivals)
 		}
+		if lo == half {
+			var ckpt bytes.Buffer
+			if err := f.WriteCheckpoint(&ckpt); err != nil {
+				return err
+			}
+			ckptSize = ckpt.Len()
+			if warm, err = stream.Restore(&ckpt); err != nil {
+				return err
+			}
+		}
 		f.ObserveBatch(arrivals[lo:hi])
+		if warm != nil {
+			warm.ObserveBatch(arrivals[lo:hi])
+		}
 		fmt.Fprintf(w, "  %6d -> %.3f\n", hi, score())
 	}
+	// The restart-determinism guarantee: the restored engine lands on
+	// exactly the estimates of the one that never stopped.
+	est, warmEst := f.Estimates(), warm.Estimates()
+	identical := len(est) == len(warmEst)
+	for o, v := range est {
+		if warmEst[o] != v {
+			identical = false
+			break
+		}
+	}
+	fmt.Fprintf(w, "checkpoint at claim %d (%d bytes); restored run identical: %v\n",
+		half, ckptSize, identical)
 	f.Refine(2)
 	st := f.Stats()
 	fmt.Fprintf(w, "after Refine sweeps   -> %.3f  (%d shards, epoch %d)\n", score(), st.Shards, st.Epoch)

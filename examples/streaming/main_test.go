@@ -20,6 +20,9 @@ func TestRunSmoke(t *testing.T) {
 	if !strings.Contains(out, "(4 shards, epoch") {
 		t.Errorf("missing sharded-engine summary:\n%s", out)
 	}
+	if !strings.Contains(out, "restored run identical: true") {
+		t.Errorf("checkpoint/restore demo did not prove identity:\n%s", out)
+	}
 	if !strings.Contains(out, "batch EM refit") {
 		t.Errorf("missing batch refit line:\n%s", out)
 	}

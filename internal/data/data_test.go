@@ -435,3 +435,27 @@ func TestStreamObservationsCSV(t *testing.T) {
 		t.Error("short row should error")
 	}
 }
+
+// TestStreamObservationsCSVReportsRowNumbers guards the error-position
+// contract: both malformed rows and fn rejections must name the
+// 1-based row (header included) where the scan stopped.
+func TestStreamObservationsCSVReportsRowNumbers(t *testing.T) {
+	// Row 3 is short (row 1 is the header).
+	in := "source,object,value\ns1,o1,a\nonly,two\ns2,o2,b\n"
+	err := StreamObservationsCSV(strings.NewReader(in), func(s, o, v string) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("malformed-row error lost its position: %v", err)
+	}
+
+	// fn rejections carry the row too, without losing the cause.
+	bad := errors.New("bad claim")
+	err = StreamObservationsCSV(strings.NewReader("source,object,value\ns1,o1,a\ns2,o2,b\n"), func(s, o, v string) error {
+		if o == "o2" {
+			return bad
+		}
+		return nil
+	})
+	if !errors.Is(err, bad) || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("fn error lost its position or identity: %v", err)
+	}
+}

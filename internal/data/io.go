@@ -102,18 +102,24 @@ func ReadObservationsCSV(r io.Reader, b *Builder) error {
 // (encoding/csv backs each record's fields by one new string), so fn
 // may retain them. Returning an error from fn stops the scan and
 // propagates the error.
+//
+// Every failure — a malformed row or an fn rejection — is reported
+// with its 1-based row number (the header row counts), so a bad line
+// deep in a multi-gigabyte stream can actually be found.
 func StreamObservationsCSV(r io.Reader, fn func(source, object, value string) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 3
 	cr.ReuseRecord = true
 	header := true
+	row := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			return nil
 		}
+		row++
 		if err != nil {
-			return fmt.Errorf("data: observations csv: %w", err)
+			return fmt.Errorf("data: observations csv row %d: %w", row, err)
 		}
 		if header {
 			header = false
@@ -122,7 +128,7 @@ func StreamObservationsCSV(r io.Reader, fn func(source, object, value string) er
 			}
 		}
 		if err := fn(rec[0], rec[1], rec[2]); err != nil {
-			return err
+			return fmt.Errorf("data: observations csv row %d: %w", row, err)
 		}
 	}
 }

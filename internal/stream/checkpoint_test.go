@@ -1,0 +1,441 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"slimfast/internal/wire"
+)
+
+// checkpointAt replays the canonical ingest pattern of ingestEngine
+// (700-claim batches, then singles) but checkpoints after batchCut
+// full batches, restores from the bytes, and finishes the stream on
+// BOTH the original and the restored engine. It returns the pair so
+// tests can compare them to each other and to a never-stopped run.
+func checkpointAt(t *testing.T, triples [][3]string, workers, batchCut int) (original, restored *Engine) {
+	t.Helper()
+	opts := DefaultEngineOptions()
+	opts.Shards = 4
+	opts.Workers = workers
+	opts.EpochLength = 512
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 700
+	feed := func(eng *Engine, lo int) {
+		for ; lo+chunk <= len(triples); lo += chunk {
+			batch := make([]Triple, chunk)
+			for i, tr := range triples[lo : lo+chunk] {
+				batch[i] = Triple{tr[0], tr[1], tr[2]}
+			}
+			eng.ObserveBatch(batch)
+		}
+		for _, tr := range triples[lo:] {
+			eng.Observe(tr[0], tr[1], tr[2])
+		}
+	}
+	// First half: batchCut full batches.
+	cut := batchCut * chunk
+	if cut > len(triples) {
+		t.Fatalf("batchCut %d beyond stream of %d", batchCut, len(triples))
+	}
+	lo := 0
+	for ; lo+chunk <= cut; lo += chunk {
+		batch := make([]Triple, chunk)
+		for i, tr := range triples[lo : lo+chunk] {
+			batch[i] = Triple{tr[0], tr[1], tr[2]}
+		}
+		e.ObserveBatch(batch)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(e, lo)
+	feed(r, lo)
+	return e, r
+}
+
+// TestGoldenCheckpointRestartDeterminism is the headline property of
+// the checkpoint subsystem: checkpoint mid-stream, restore, finish
+// ingest — the restored engine's fingerprint (every posterior and
+// accuracy, bit for bit) must equal both the original's and that of
+// an engine that never stopped, for one ingest worker and for four.
+func TestGoldenCheckpointRestartDeterminism(t *testing.T) {
+	_, triples := streamInstance(t, 7)
+	for _, workers := range []int{1, 4} {
+		uninterrupted := ingestEngine(t, triples, workers)
+		want := engineFingerprint(uninterrupted)
+		original, restored := checkpointAt(t, triples, workers, 3)
+		if got := engineFingerprint(original); got != want {
+			t.Errorf("workers=%d: original-after-checkpoint fingerprint %x != uninterrupted %x", workers, got, want)
+		}
+		if got := engineFingerprint(restored); got != want {
+			t.Errorf("workers=%d: restored fingerprint %x != uninterrupted %x", workers, got, want)
+		}
+		// The exact re-sweep must agree too: Refine's accumulation
+		// order depends on slab slot order, which the checkpoint must
+		// have preserved exactly.
+		uninterrupted.Refine(2)
+		restored.Refine(2)
+		if a, b := engineFingerprint(uninterrupted), engineFingerprint(restored); a != b {
+			t.Errorf("workers=%d: post-Refine fingerprints differ: %x vs %x", workers, a, b)
+		}
+		wantEst := uninterrupted.Estimates()
+		gotEst := restored.Estimates()
+		if len(wantEst) != len(gotEst) {
+			t.Fatalf("workers=%d: %d estimates vs %d", workers, len(gotEst), len(wantEst))
+		}
+		for o, v := range wantEst {
+			if gotEst[o] != v {
+				t.Errorf("workers=%d: object %s = %q, uninterrupted says %q", workers, o, gotEst[o], v)
+			}
+		}
+	}
+}
+
+// TestCheckpointRestartDeterminismAtEveryBoundary sweeps the cut
+// point: wherever the restart happens, the final state is the same.
+func TestCheckpointRestartDeterminismAtEveryBoundary(t *testing.T) {
+	_, triples := streamInstance(t, 8)
+	want := engineFingerprint(ingestEngine(t, triples, 2))
+	for _, cut := range []int{0, 1, 2, 4, 6} {
+		_, restored := checkpointAt(t, triples, 2, cut)
+		if got := engineFingerprint(restored); got != want {
+			t.Errorf("cut=%d batches: restored fingerprint %x != uninterrupted %x", cut, got, want)
+		}
+	}
+}
+
+// TestCheckpointRoundTripWithEvictionAndDecay drives the bounded-
+// memory and decay paths — LRU links, free lists, evicted-mass
+// accounting, per-epoch decay counters — through a checkpoint and
+// verifies the restored engine is indistinguishable, both immediately
+// and after further ingest and an exact re-sweep.
+func TestCheckpointRoundTripWithEvictionAndDecay(t *testing.T) {
+	_, triples := streamInstance(t, 9)
+	opts := DefaultEngineOptions()
+	opts.Shards = 3
+	opts.Workers = 2
+	opts.EpochLength = 128
+	opts.MaxObjects = 60 // far below the ~500 live objects: heavy eviction
+	opts.Decay = 0.99
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(triples) / 2
+	for _, tr := range triples[:half] {
+		e.Observe(tr[0], tr[1], tr[2])
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := engineFingerprint(e), engineFingerprint(r); a != b {
+		t.Fatalf("immediate round-trip fingerprints differ: %x vs %x", a, b)
+	}
+	if a, b := e.Stats(), r.Stats(); a != b {
+		t.Errorf("stats differ after restore: %+v vs %+v", a, b)
+	}
+	for _, tr := range triples[half:] {
+		e.Observe(tr[0], tr[1], tr[2])
+		r.Observe(tr[0], tr[1], tr[2])
+	}
+	if a, b := engineFingerprint(e), engineFingerprint(r); a != b {
+		t.Fatalf("continued-ingest fingerprints differ: %x vs %x", a, b)
+	}
+	e.Refine(2)
+	r.Refine(2)
+	if a, b := engineFingerprint(e), engineFingerprint(r); a != b {
+		t.Errorf("post-Refine fingerprints differ: %x vs %x", a, b)
+	}
+	if a, b := e.Stats(), r.Stats(); a != b {
+		t.Errorf("stats diverged: %+v vs %+v", a, b)
+	}
+}
+
+// smallCheckpoint builds a compact but non-trivial checkpoint for the
+// failure-path tests.
+func smallCheckpoint(t *testing.T) []byte {
+	t.Helper()
+	opts := DefaultEngineOptions()
+	opts.Shards = 2
+	opts.EpochLength = 8
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, triples := streamInstance(t, 5)
+	for _, tr := range triples[:64] {
+		e.Observe(tr[0], tr[1], tr[2])
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestoreTruncated: every strict prefix must fail with a
+// truncation error and a nil engine — never a panic, never a
+// partially-restored engine.
+func TestRestoreTruncated(t *testing.T) {
+	b := smallCheckpoint(t)
+	for _, cut := range []int{0, 3, 7, len(b) / 4, len(b) / 2, len(b) - 5, len(b) - 1} {
+		e, err := Restore(bytes.NewReader(b[:cut]))
+		if e != nil {
+			t.Fatalf("cut=%d: got a non-nil engine from a truncated checkpoint", cut)
+		}
+		if !errors.Is(err, wire.ErrTruncated) {
+			t.Errorf("cut=%d: err = %v, want wire.ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestRestoreChecksumMismatch flips footer and payload bytes; both
+// must be rejected before an engine escapes.
+func TestRestoreChecksumMismatch(t *testing.T) {
+	b := smallCheckpoint(t)
+	foot := append([]byte(nil), b...)
+	foot[len(foot)-1] ^= 0x01
+	if e, err := Restore(bytes.NewReader(foot)); e != nil || !errors.Is(err, wire.ErrChecksum) {
+		t.Errorf("flipped footer: engine=%v err=%v, want nil + ErrChecksum", e != nil, err)
+	}
+	// A flipped payload byte must also never produce an engine; the
+	// exact error depends on what the byte was (a float bit lands in
+	// ErrChecksum, a length or id field may fail structurally first).
+	for _, off := range []int{len(b) / 3, len(b) / 2, 2 * len(b) / 3} {
+		mid := append([]byte(nil), b...)
+		mid[off] ^= 0x40
+		if e, err := Restore(bytes.NewReader(mid)); e != nil || err == nil {
+			t.Errorf("flipped payload byte %d: engine=%v err=%v, want nil + error", off, e != nil, err)
+		}
+	}
+}
+
+// TestRestoreVersionSkew patches the version field: a checkpoint from
+// a future format must be refused up front.
+func TestRestoreVersionSkew(t *testing.T) {
+	b := smallCheckpoint(t)
+	b[4] ^= 0x02 // version is the LE uint32 right after the 4-byte magic
+	e, err := Restore(bytes.NewReader(b))
+	if e != nil || !errors.Is(err, wire.ErrVersion) {
+		t.Errorf("engine=%v err=%v, want nil + wire.ErrVersion", e != nil, err)
+	}
+	b[4] ^= 0x02
+	b[0] = 'X' // and a non-checkpoint stream fails on magic
+	if e, err := Restore(bytes.NewReader(b)); e != nil || !errors.Is(err, wire.ErrMagic) {
+		t.Errorf("engine=%v err=%v, want nil + wire.ErrMagic", e != nil, err)
+	}
+}
+
+// TestRestoreShardCountMismatch crafts structurally valid wire
+// streams whose shard records disagree with their own header.
+func TestRestoreShardCountMismatch(t *testing.T) {
+	header := func(w *wire.Writer, shards int) {
+		opts := DefaultEngineOptions()
+		opts.Shards = shards
+		opts.EpochLength = 8
+		encodeOptions(w, opts)
+		w.Int64(0) // nObs
+		w.Int64(0) // sinceEp
+		w.Strings(nil)
+		w.Float64s(nil)
+		w.Float64s(nil)
+		w.Float64s(nil)
+		w.Float64s(nil)
+		w.Int64(0) // source epoch
+		w.Strings(nil)
+	}
+	// Header says 2 shards, record section says 3.
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf, checkpointMagic, checkpointVersion)
+	header(w, 2)
+	w.Uint32(3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := Restore(bytes.NewReader(buf.Bytes())); e != nil || !errors.Is(err, ErrShardCount) {
+		t.Errorf("count skew: engine=%v err=%v, want nil + ErrShardCount", e != nil, err)
+	}
+	// Matching counts but a record tagged with the wrong shard index.
+	buf.Reset()
+	w = wire.NewWriter(&buf, checkpointMagic, checkpointVersion)
+	header(w, 1)
+	w.Uint32(1) // one shard record follows...
+	w.Uint32(7) // ...tagged as shard 7
+	w.Uint32(0) // no objects
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := Restore(bytes.NewReader(buf.Bytes())); e != nil || !errors.Is(err, ErrShardCount) {
+		t.Errorf("tag skew: engine=%v err=%v, want nil + ErrShardCount", e != nil, err)
+	}
+}
+
+// TestRestoreStructuralCorruption covers ErrCorrupt: bytes that parse
+// and checksum... no — these fail before the checksum, on structural
+// invariants (ragged tables, dangling ids never reach the engine).
+func TestRestoreStructuralCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf, checkpointMagic, checkpointVersion)
+	opts := DefaultEngineOptions()
+	opts.Shards = 1
+	opts.EpochLength = 8
+	encodeOptions(w, opts)
+	w.Int64(0)
+	w.Int64(0)
+	w.Strings([]string{"src-a"}) // one source name...
+	w.Float64s(nil)              // ...but empty stats vectors
+	w.Float64s(nil)
+	w.Float64s(nil)
+	w.Float64s(nil)
+	w.Int64(0)
+	w.Strings(nil)
+	w.Uint32(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := Restore(bytes.NewReader(buf.Bytes())); e != nil || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ragged source table: engine=%v err=%v, want nil + ErrCorrupt", e != nil, err)
+	}
+
+	// A live claim referencing a source the shard's per-source vectors
+	// do not cover would panic in the next drain; Restore must refuse.
+	buf.Reset()
+	w = wire.NewWriter(&buf, checkpointMagic, checkpointVersion)
+	encodeOptions(w, opts)
+	w.Int64(1)
+	w.Int64(1)
+	w.Strings([]string{"src-a"})
+	w.Float64s([]float64{0})
+	w.Float64s([]float64{1})
+	w.Float64s([]float64{0.5})
+	w.Float64s([]float64{0})
+	w.Int64(0)
+	w.Strings([]string{"val-a"})
+	w.Uint32(1)
+	w.Uint32(0) // shard 0 tag
+	w.Uint32(1) // one object slot
+	w.Bool(true)
+	w.String("obj")
+	w.Int64(0) // epoch
+	w.Int(-1)  // prev
+	w.Int(-1)  // next
+	w.Bool(true)
+	w.Uint32(1) // one claim...
+	w.Uint32(0) // ...by source 0
+	w.Uint32(0)
+	w.Float64(0)
+	w.Int32s([]int32{0})
+	w.Int32s([]int32{1})
+	w.Float64s([]float64{0.5})
+	w.Float64s([]float64{1})
+	w.Ints(nil)      // free list
+	w.Ints([]int{0}) // dirty list
+	w.Int(0)         // lruHead
+	w.Int(0)         // lruTail
+	w.Float64s(nil)  // deltaAgree: empty — does not cover source 0
+	w.Float64s(nil)
+	w.Int64s(nil)
+	w.Float64s(nil)
+	w.Float64s(nil)
+	w.Int64(0)
+	w.Int64(0)
+	w.Float64(0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := Restore(bytes.NewReader(buf.Bytes())); e != nil || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("uncovered claim source: engine=%v err=%v, want nil + ErrCorrupt", e != nil, err)
+	}
+}
+
+// TestCheckpointFileRoundTrip exercises the atomic file helpers.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	_, triples := streamInstance(t, 6)
+	e := ingestEngine(t, triples[:1400], 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "engine.ckpt")
+	if err := e.WriteCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "engine.ckpt" {
+		t.Errorf("dir has %d entries: %v", len(entries), entries)
+	}
+	r, err := RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := engineFingerprint(e), engineFingerprint(r); a != b {
+		t.Errorf("file round-trip fingerprints differ: %x vs %x", a, b)
+	}
+	if _, err := RestoreFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("restoring a missing file should fail")
+	}
+}
+
+// TestWriteCheckpointConcurrentWithIngest proves the copy-on-read
+// claim under the race detector: checkpoints taken while another
+// goroutine ingests must be internally consistent (they restore
+// cleanly), and the ingesting engine must be unaffected.
+func TestWriteCheckpointConcurrentWithIngest(t *testing.T) {
+	_, triples := streamInstance(t, 4)
+	opts := DefaultEngineOptions()
+	opts.Shards = 4
+	opts.EpochLength = 64
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, tr := range triples {
+			e.Observe(tr[0], tr[1], tr[2])
+		}
+	}()
+	var last bytes.Buffer
+	for i := 0; i < 8; i++ {
+		last.Reset()
+		if err := e.WriteCheckpoint(&last); err != nil {
+			t.Errorf("concurrent checkpoint %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if _, err := Restore(bytes.NewReader(last.Bytes())); err != nil {
+		t.Errorf("checkpoint taken during ingest does not restore: %v", err)
+	}
+	// And a final quiescent checkpoint round-trips exactly.
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := engineFingerprint(e), engineFingerprint(r); a != b {
+		t.Errorf("quiescent round-trip fingerprints differ: %x vs %x", a, b)
+	}
+}

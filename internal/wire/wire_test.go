@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+const (
+	testMagic   = "TSTW"
+	testVersion = uint32(3)
+)
+
+// writeSample encodes one value of every primitive the codec speaks.
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	w.Uint8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint32(0xdeadbeef)
+	w.Uint64(1 << 62)
+	w.Int64(-42)
+	w.Int(-1)
+	w.Float64(math.Pi)
+	w.Float64(math.Copysign(0, -1)) // signed zero must round-trip
+	w.String("hello, wire")
+	w.String("")
+	w.Float64s([]float64{1.5, -2.25, math.Inf(1)})
+	w.Int64s([]int64{-1, 0, 1})
+	w.Ints([]int{3, 1, 4})
+	w.Int32s([]int32{-7, 7})
+	w.Strings([]string{"a", "", "bc"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := writeSample(t)
+	r, err := NewReader(bytes.NewReader(b), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Uint8(); got != 7 {
+		t.Errorf("Uint8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %x", got)
+	}
+	if got := r.Uint64(); got != 1<<62 {
+		t.Errorf("Uint64 = %x", got)
+	}
+	if got := r.Int64(); got != -42 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := r.Int(); got != -1 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Float64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("signed zero lost: %v", got)
+	}
+	if got := r.String(); got != "hello, wire" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	fs := r.Float64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.25 || !math.IsInf(fs[2], 1) {
+		t.Errorf("Float64s = %v", fs)
+	}
+	is := r.Int64s()
+	if len(is) != 3 || is[0] != -1 || is[2] != 1 {
+		t.Errorf("Int64s = %v", is)
+	}
+	ints := r.Ints()
+	if len(ints) != 3 || ints[0] != 3 || ints[2] != 4 {
+		t.Errorf("Ints = %v", ints)
+	}
+	i32 := r.Int32s()
+	if len(i32) != 2 || i32[0] != -7 || i32[1] != 7 {
+		t.Errorf("Int32s = %v", i32)
+	}
+	ss := r.Strings()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "" || ss[2] != "bc" {
+		t.Errorf("Strings = %v", ss)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	b := writeSample(t)
+	if _, err := NewReader(bytes.NewReader(b), "NOPE", testVersion); !errors.Is(err, ErrMagic) {
+		t.Errorf("err = %v, want ErrMagic", err)
+	}
+	// An invalid magic length is a caller bug, not a typed stream error.
+	if _, err := NewReader(bytes.NewReader(b), "LONGMAGIC", testVersion); err == nil {
+		t.Error("long magic accepted")
+	}
+	if w := NewWriter(&bytes.Buffer{}, "XY", 1); w.Err() == nil {
+		t.Error("short writer magic accepted")
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	b := writeSample(t)
+	_, err := NewReader(bytes.NewReader(b), testMagic, testVersion+1)
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	b := writeSample(t)
+	// Flip a bit in the footer so the payload still parses.
+	b[len(b)-1] ^= 0x01
+	r, err := NewReader(bytes.NewReader(b), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainSample(r)
+	if err := r.Close(); !errors.Is(err, ErrChecksum) {
+		t.Errorf("Close = %v, want ErrChecksum", err)
+	}
+}
+
+func TestPayloadCorruptionCaughtByChecksum(t *testing.T) {
+	b := writeSample(t)
+	// Flip a payload bit (the Uint64 field). The value parses fine but
+	// Close must reject the stream.
+	b[20] ^= 0x80
+	r, err := NewReader(bytes.NewReader(b), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainSample(r)
+	if err := r.Close(); !errors.Is(err, ErrChecksum) {
+		t.Errorf("Close = %v, want ErrChecksum", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	b := writeSample(t)
+	// Every strict prefix must fail with ErrTruncated somewhere —
+	// either mid-read or at Close (missing footer). Never a panic,
+	// never a silent success.
+	for cut := 0; cut < len(b); cut++ {
+		r, err := NewReader(bytes.NewReader(b[:cut]), testMagic, testVersion)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut=%d: NewReader err = %v, want ErrTruncated", cut, err)
+			}
+			continue
+		}
+		drainSample(r)
+		if err := r.Close(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: Close = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// drainSample reads the sample payload, tolerating sticky errors.
+func drainSample(r *Reader) {
+	r.Uint8()
+	r.Bool()
+	r.Bool()
+	r.Uint32()
+	r.Uint64()
+	r.Int64()
+	r.Int()
+	r.Float64()
+	r.Float64()
+	_ = r.String()
+	_ = r.String()
+	r.Float64s()
+	r.Int64s()
+	r.Ints()
+	r.Int32s()
+	r.Strings()
+}
+
+// TestLyingLengthHitsTruncationNotOOM: a cap-passing but absurd
+// length prefix backed by almost no data must fail with ErrTruncated
+// after allocating in proportion to the bytes actually present — not
+// preallocate the declared length.
+func TestLyingLengthHitsTruncationNotOOM(t *testing.T) {
+	build := func(write func(w *Writer)) *Reader {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, testMagic, testVersion)
+		write(w)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()), testMagic, testVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := build(func(w *Writer) {
+		w.Uint32(maxSliceLen - 1) // claims ~256M floats...
+		w.Float64(1)              // ...delivers one
+	})
+	if xs := r.Float64s(); xs != nil || !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("Float64s = %d elems, err = %v; want nil + ErrTruncated", len(xs), r.Err())
+	}
+	r = build(func(w *Writer) {
+		w.Uint32(maxSliceLen - 1) // claims a ~256MB string...
+		w.Uint8('x')              // ...delivers one byte
+	})
+	if s := r.String(); s != "" || !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("String = %d bytes, err = %v; want empty + ErrTruncated", len(s), r.Err())
+	}
+}
+
+func TestLengthGuard(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testMagic, testVersion)
+	w.Uint32(maxSliceLen + 1) // a hand-rolled oversized length prefix
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), testMagic, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.String(); s != "" || r.Err() == nil {
+		t.Errorf("oversized length accepted: %q, err=%v", s, r.Err())
+	}
+}
+
+// failWriter fails after n bytes, to exercise sticky write errors.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&failWriter{n: 6}, testMagic, testVersion)
+	for i := 0; i < 100; i++ {
+		w.Float64(1)
+	}
+	if err := w.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Close = %v, want disk full", err)
+	}
+}

@@ -1,0 +1,114 @@
+#!/bin/sh
+# e2e_restart.sh — the restart-determinism proof, end to end over the
+# network: build the real binary, serve, ingest a fixture over HTTP,
+# checkpoint, kill the process, restart from the checkpoint, finish
+# the ingest, and require the final /estimates and /sources bytes to
+# be identical to a single uninterrupted run. This is the property
+# that makes the serving mode operable: a crash-restart cycle is
+# invisible to clients.
+set -eu
+
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$WORK/slimfast" ./cmd/slimfast
+
+echo "== fixture"
+# A deterministic claim stream: 8 sources of varying reliability
+# reporting on 120 objects; source s7 is a contrarian. Split into two
+# halves so the restart lands mid-stream.
+awk 'BEGIN {
+	print "source,object,value" > "'"$WORK"'/part1.csv"
+	print "source,object,value" > "'"$WORK"'/part2.csv"
+	for (o = 0; o < 120; o++) {
+		for (s = 0; s < 8; s++) {
+			v = "t" o % 7
+			if (s == 7 || (o + s) % 11 == 0) v = "w" (o + s) % 5
+			out = (o < 60) ? "'"$WORK"'/part1.csv" : "'"$WORK"'/part2.csv"
+			printf "s%d,o%03d,%s\n", s, o, v >> out
+		}
+	}
+}'
+
+# start_server LOGFILE [extra flags...] — boots the server on an
+# ephemeral port, sets SRV_PID, and leaves the bound address in ADDR.
+# (Runs in the parent shell, not a subshell, so both survive.)
+start_server() {
+	log="$1"; shift
+	"$WORK/slimfast" stream -listen 127.0.0.1:0 -shards 4 -epoch 64 -batch 32 "$@" > "$log" 2>&1 &
+	SRV_PID=$!
+	ADDR=""
+	for _ in $(seq 1 100); do
+		ADDR="$(sed -n 's/^# listening on //p' "$log" | head -n1)"
+		[ -n "$ADDR" ] && break
+		sleep 0.1
+	done
+	if [ -z "$ADDR" ]; then
+		echo "server never came up:" >&2
+		cat "$log" >&2
+		exit 1
+	fi
+}
+
+post_csv() { # addr file
+	curl -fsS -X POST -H 'Content-Type: text/csv' --data-binary @"$2" "http://$1/observe" > /dev/null
+}
+
+echo "== uninterrupted run"
+start_server "$WORK/uninterrupted.log"
+curl -fsS "http://$ADDR/healthz" > /dev/null
+post_csv "$ADDR" "$WORK/part1.csv"
+post_csv "$ADDR" "$WORK/part2.csv"
+curl -fsS "http://$ADDR/estimates" > "$WORK/estimates.uninterrupted.csv"
+curl -fsS "http://$ADDR/sources" > "$WORK/sources.uninterrupted.csv"
+kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "== interrupted run: ingest half, checkpoint, kill"
+CKPT="$WORK/engine.ckpt"
+start_server "$WORK/run1.log" -checkpoint "$CKPT"
+post_csv "$ADDR" "$WORK/part1.csv"
+curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
+kill -9 "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true # hard kill: the checkpoint must carry everything
+SRV_PID=""
+[ -s "$CKPT" ] || { echo "checkpoint file missing" >&2; exit 1; }
+
+echo "== restart from checkpoint, finish ingest"
+start_server "$WORK/run2.log" -restore "$CKPT" -checkpoint "$CKPT"
+grep -q '^# restored ' "$WORK/run2.log" || { echo "server did not restore:" >&2; cat "$WORK/run2.log" >&2; exit 1; }
+post_csv "$ADDR" "$WORK/part2.csv"
+curl -fsS "http://$ADDR/estimates" > "$WORK/estimates.restored.csv"
+curl -fsS "http://$ADDR/sources" > "$WORK/sources.restored.csv"
+
+echo "== SIGTERM writes a shutdown checkpoint"
+kill -TERM "$SRV_PID"
+for _ in $(seq 1 100); do
+	grep -q '^# shutdown checkpoint written to ' "$WORK/run2.log" && break
+	sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+grep -q '^# shutdown checkpoint written to ' "$WORK/run2.log" || {
+	echo "no shutdown checkpoint after SIGTERM:" >&2
+	cat "$WORK/run2.log" >&2
+	exit 1
+}
+
+echo "== compare"
+diff "$WORK/estimates.uninterrupted.csv" "$WORK/estimates.restored.csv" || {
+	echo "FAIL: /estimates diverged after restart" >&2
+	exit 1
+}
+diff "$WORK/sources.uninterrupted.csv" "$WORK/sources.restored.csv" || {
+	echo "FAIL: /sources diverged after restart" >&2
+	exit 1
+}
+lines="$(wc -l < "$WORK/estimates.restored.csv")"
+[ "$lines" -gt 100 ] || { echo "FAIL: suspiciously small estimate set ($lines lines)" >&2; exit 1; }
+echo "PASS: restart is byte-invisible ($lines estimate lines identical)"
