@@ -19,24 +19,25 @@ test-full:
 	$(GO) test -race ./...
 
 ## bench: run the core micro-benchmarks (with -benchmem) and snapshot
-## them to BENCH_3.json (the perf trajectory; bump the number per PR)
+## them to BENCH_4.json (the perf trajectory; bump the number per PR)
 bench:
-	./scripts/bench.sh BENCH_3.json
+	./scripts/bench.sh BENCH_4.json
 
-## benchdiff: fail if BENCH_3.json regresses >10% vs BENCH_2.json in
+## benchdiff: fail if BENCH_4.json regresses >10% vs BENCH_3.json in
 ## ns/op or allocs/op (see scripts/benchdiff for arbitrary snapshots)
 benchdiff:
-	./scripts/benchdiff BENCH_2.json BENCH_3.json
+	./scripts/benchdiff BENCH_3.json BENCH_4.json
 
 ## lint: formatting + static analysis, the fast-fail CI gate
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-## cover: streaming-engine coverage with the ratcheted >=80% gate CI
-## enforces; leaves cover.out for `go tool cover -html=cover.out`
+## cover: streaming-engine + online-learner coverage with the
+## ratcheted >=80% gates CI enforces; leaves the merged cover.out for
+## `go tool cover -html=cover.out`
 cover:
-	./scripts/covergate cover.out ./internal/stream/ 80
+	./scripts/covergate cover.out ./internal/stream/ 80 ./internal/online/ 80
 
 ## serve: run the streaming engine as an HTTP service on :8080 with a
 ## durable checkpoint — restarting the target resumes where it left off

@@ -332,6 +332,72 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineIngest measures the streaming engine with the online
+// discriminative learner active: same claim cycling as
+// BenchmarkStreamIngest, but every source carries a cohort feature and
+// each epoch refresh retrains the minibatch logistic regression and
+// rebuilds the σ-table from the feature-smoothed window. The learning
+// cost amortizes over EpochLength observations, so the Observe hot
+// path must stay zero-alloc (the allocs/op gate benchdiff enforces).
+func BenchmarkOnlineIngest(b *testing.B) {
+	inst, err := synth.Generate(synth.Config{
+		Name: "online-ingest", Sources: 80, Objects: 2000, DomainSize: 3,
+		Assignment: synth.IIDDensity, Density: 0.1,
+		MeanAccuracy: 0.7, AccuracySD: 0.12, MinAccuracy: 0.45, MaxAccuracy: 0.95,
+		Features: []synth.FeatureGroup{
+			{Name: "grp", Cardinality: 8, Informative: true, WeightScale: 1.5},
+		},
+		EnsureTruthObserved: true, Seed: 31,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := inst.Dataset
+	features := make(map[string][]string, ds.NumSources())
+	for s := 0; s < ds.NumSources(); s++ {
+		var labels []string
+		for _, f := range ds.SourceFeatures[s] {
+			labels = append(labels, ds.FeatureNames[f])
+		}
+		features[ds.SourceNames[s]] = labels
+	}
+	type tri struct {
+		s, o string
+		vals [2]string
+	}
+	triples := make([]tri, 0, ds.NumObservations())
+	for _, ob := range ds.Observations {
+		triples = append(triples, tri{
+			s: ds.SourceNames[ob.Source],
+			o: ds.ObjectNames[ob.Object],
+			vals: [2]string{
+				ds.ValueNames[ob.Value],
+				ds.ValueNames[(int(ob.Value)+1)%ds.NumValues()],
+			},
+		})
+	}
+	rng := randx.New(32)
+	rng.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
+
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			opts := stream.DefaultEngineOptions()
+			opts.Shards = shards
+			opts.Workers = 1
+			opts.Features = features
+			e, err := stream.NewEngine(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := &triples[i%len(triples)]
+				e.Observe(t.s, t.o, t.vals[(i/len(triples))%2])
+			}
+		})
+	}
+}
+
 func BenchmarkOptimizerDecide(b *testing.B) {
 	inst := benchInstance(b)
 	train, _ := data.Split(inst.Gold, 0.1, randx.New(5))

@@ -9,6 +9,7 @@
 //	POST /observe     ingest claims (NDJSON objects or text/csv rows)
 //	GET  /estimates   every live object's MAP value as CSV
 //	GET  /sources     source accuracies as CSV
+//	POST /refine      run the exact re-sweep (?sweeps=N, default 2)
 //	POST /checkpoint  write the engine checkpoint to the -checkpoint path
 //	GET  /healthz     liveness + engine stats as JSON
 //
@@ -29,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -67,6 +69,7 @@ func (s *streamServer) handler() http.Handler {
 	mux.HandleFunc("POST /observe", s.handleObserve)
 	mux.HandleFunc("GET /estimates", s.handleEstimates)
 	mux.HandleFunc("GET /sources", s.handleSources)
+	mux.HandleFunc("POST /refine", s.handleRefine)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -182,6 +185,40 @@ func (s *streamServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
 // handleSources serves source accuracies as CSV.
 func (s *streamServer) handleSources(w http.ResponseWriter, r *http.Request) {
 	serveCSV(w, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
+}
+
+// maxRefineSweeps caps an operator-requested re-sweep: each sweep is
+// O(total claims), and an absurd count from a typo must not wedge the
+// ingest lock for hours.
+const maxRefineSweeps = 64
+
+// handleRefine runs the exact re-estimation re-sweep (Engine.Refine)
+// on operator demand — the way to tighten single-pass estimates to
+// the batch fixed point without restarting the service. The optional
+// ?sweeps=N query selects the sweep count (default 2). The request
+// holds the ingest lock: the engine itself is safe to refine during
+// ingest, but serializing on request boundaries keeps a replayed
+// request sequence deterministic, like /observe and /checkpoint.
+func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
+	sweeps := 2
+	if q := r.URL.Query().Get("sweeps"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > maxRefineSweeps {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("refine: sweeps must be an integer in [1,%d], got %q", maxRefineSweeps, q))
+			return
+		}
+		sweeps = n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.Refine(sweeps)
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sweeps":       sweeps,
+		"epoch":        st.Epoch,
+		"observations": st.Observations,
+	})
 }
 
 // handleCheckpoint durably checkpoints the engine to the configured

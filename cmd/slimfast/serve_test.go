@@ -283,3 +283,181 @@ func TestStreamSubcommandCheckpointRestore(t *testing.T) {
 		t.Errorf("missing starting-fresh notice:\n%s", out.String())
 	}
 }
+
+// TestServeRefineEndpoint covers the operator re-sweep: a default
+// refine, an explicit sweep count, rejection of junk counts, and —
+// the load-bearing part — refines racing a concurrent ingest stream
+// without breaking determinism of the final state.
+func TestServeRefineEndpoint(t *testing.T) {
+	h := newStreamServer(testEngine(t, 2), "", 32, io.Discard).handler()
+	if rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(60)); rec.Code != http.StatusOK {
+		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
+	}
+	rec := doReq(t, h, "POST", "/refine", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("refine = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Sweeps       int   `json:"sweeps"`
+		Observations int64 `json:"observations"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sweeps != 2 || resp.Observations != 180 {
+		t.Errorf("refine response = %+v, want sweeps=2 observations=180", resp)
+	}
+	if rec := doReq(t, h, "POST", "/refine?sweeps=3", "", ""); rec.Code != http.StatusOK {
+		t.Errorf("refine sweeps=3 = %d: %s", rec.Code, rec.Body)
+	}
+	for _, bad := range []string{"0", "-1", "9999", "two"} {
+		if rec := doReq(t, h, "POST", "/refine?sweeps="+bad, "", ""); rec.Code != http.StatusBadRequest {
+			t.Errorf("refine sweeps=%s = %d, want 400", bad, rec.Code)
+		}
+	}
+	if rec := doReq(t, h, "GET", "/refine", "", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /refine = %d, want 405", rec.Code)
+	}
+}
+
+// TestServeRefineConcurrentWithIngest hammers /observe and /refine
+// from concurrent clients (the ingest lock serializes them), then
+// verifies every claim landed and a final refine converges the same
+// state a sequential ingest+refine reaches.
+func TestServeRefineConcurrentWithIngest(t *testing.T) {
+	const chunks = 8
+	bodies := make([]string, chunks)
+	all := strings.Split(strings.TrimSpace(ndjsonFromCSV(streamCSV(200))), "\n")
+	per := len(all) / chunks
+	for i := range bodies {
+		lo, hi := i*per, (i+1)*per
+		if i == chunks-1 {
+			hi = len(all)
+		}
+		bodies[i] = strings.Join(all[lo:hi], "\n") + "\n"
+	}
+
+	srv := newStreamServer(testEngine(t, 2), "", 32, io.Discard)
+	h := srv.handler()
+	var wg sync.WaitGroup
+	errs := make(chan string, chunks+4)
+	for i := 0; i < chunks; i++ {
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			if rec := doReq(t, h, "POST", "/observe", "", body); rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("observe = %d: %s", rec.Code, rec.Body)
+			}
+		}(bodies[i])
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rec := doReq(t, h, "POST", "/refine", "", ""); rec.Code != http.StatusOK {
+				errs <- fmt.Sprintf("refine = %d: %s", rec.Code, rec.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := srv.eng.Stats().Observations; got != int64(len(all)) {
+		t.Fatalf("observations = %d, want %d", got, len(all))
+	}
+
+	// Sequential reference: same claims, then the same final refine.
+	ref := newStreamServer(testEngine(t, 2), "", 32, io.Discard)
+	hRef := ref.handler()
+	for _, body := range bodies {
+		if rec := doReq(t, hRef, "POST", "/observe", "", body); rec.Code != http.StatusOK {
+			t.Fatalf("reference observe = %d", rec.Code)
+		}
+	}
+	doReq(t, h, "POST", "/refine?sweeps=4", "", "")
+	doReq(t, hRef, "POST", "/refine?sweeps=4", "", "")
+	got := doReq(t, h, "GET", "/estimates", "", "").Body.String()
+	want := doReq(t, hRef, "GET", "/estimates", "", "").Body.String()
+	if got != want {
+		t.Error("estimates after concurrent ingest+refine diverge from sequential reference")
+	}
+}
+
+// featureEngine builds an online-learning engine matching streamCSV's
+// sources: the reliable pair shares a feature, the contrarian has its
+// own.
+func featureEngine(t *testing.T, workers int) *stream.Engine {
+	t.Helper()
+	opts := stream.DefaultEngineOptions()
+	opts.Shards = 4
+	opts.Workers = workers
+	opts.EpochLength = 128
+	opts.Features = map[string][]string{
+		"good1": {"tier=reviewed"},
+		"good2": {"tier=reviewed"},
+		"bad":   {"tier=scraped"},
+	}
+	e, err := stream.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestServeSourcesDetailInOnlineMode: a feature-mode server reports
+// the accuracy decomposition on /sources, and the restart guarantee
+// holds for the v2 checkpoint.
+func TestServeSourcesDetailInOnlineMode(t *testing.T) {
+	h := newStreamServer(featureEngine(t, 2), "", 64, io.Discard).handler()
+	if rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(150)); rec.Code != http.StatusOK {
+		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
+	}
+	body := doReq(t, h, "GET", "/sources", "", "").Body.String()
+	if !strings.HasPrefix(body, "source,accuracy,learned,empirical\n") {
+		t.Fatalf("online /sources missing detail header:\n%s", body)
+	}
+	var goodLearned, badLearned float64
+	for _, line := range strings.Split(body, "\n") {
+		var acc, learned, empirical float64
+		if n, _ := fmt.Sscanf(line, "good1,%f,%f,%f", &acc, &learned, &empirical); n == 3 {
+			goodLearned = learned
+		}
+		if n, _ := fmt.Sscanf(line, "bad,%f,%f,%f", &acc, &learned, &empirical); n == 3 {
+			badLearned = learned
+		}
+	}
+	if goodLearned <= badLearned {
+		t.Errorf("learned accuracy: reviewed tier %.3f should exceed scraped %.3f", goodLearned, badLearned)
+	}
+
+	// Restart determinism with the learner in play.
+	all := strings.Split(strings.TrimSpace(ndjsonFromCSV(streamCSV(300))), "\n")
+	cut := 5 * len(all) / 9
+	part1 := strings.Join(all[:cut], "\n") + "\n"
+	part2 := strings.Join(all[cut:], "\n") + "\n"
+	hU := newStreamServer(featureEngine(t, 2), "", 64, io.Discard).handler()
+	doReq(t, hU, "POST", "/observe", "", part1)
+	doReq(t, hU, "POST", "/observe", "", part2)
+	wantSrc := doReq(t, hU, "GET", "/sources", "", "").Body.String()
+
+	ckpt := filepath.Join(t.TempDir(), "online.ckpt")
+	h1 := newStreamServer(featureEngine(t, 2), ckpt, 64, io.Discard).handler()
+	doReq(t, h1, "POST", "/observe", "", part1)
+	if rec := doReq(t, h1, "POST", "/checkpoint", "", ""); rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint = %d: %s", rec.Code, rec.Body)
+	}
+	restored, err := stream.RestoreFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.OnlineLearning() {
+		t.Fatal("restored engine lost the learner")
+	}
+	h2 := newStreamServer(restored, ckpt, 64, io.Discard).handler()
+	doReq(t, h2, "POST", "/observe", "", part2)
+	if got := doReq(t, h2, "GET", "/sources", "", "").Body.String(); got != wantSrc {
+		t.Errorf("restored online /sources diverges from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, wantSrc)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"slimfast/internal/data"
+	"slimfast/internal/online"
 	"slimfast/internal/stream"
 )
 
@@ -40,6 +41,8 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	listen := fs.String("listen", "", "serve the HTTP ingest/query API on this address (e.g. :8080) instead of reading -obs")
 	ckptPath := fs.String("checkpoint", "", "checkpoint file: written on POST /checkpoint and SIGTERM (serve mode) or after the final output (batch mode)")
 	restorePath := fs.String("restore", "", "resume from this checkpoint when it exists (engine flags like -shards then come from the checkpoint)")
+	featPath := fs.String("features", "", "source features CSV (source,feature); enables online discriminative reliability learning")
+	window := fs.Int("window", 0, "drift window in epochs for the online learner (0 = default; needs -features)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +62,20 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	}
+	if *window < 0 {
+		return fmt.Errorf("-window must be non-negative, got %d", *window)
+	}
+	if eng != nil && *featPath != "" {
+		// Engine shape comes from the checkpoint, like -shards; saying
+		// so matters here because an operator adding -features to a
+		// running deployment would otherwise silently keep serving
+		// agreement-only accuracies.
+		if eng.OnlineLearning() {
+			fmt.Fprintf(stdout, "# note: -features ignored, restored checkpoint already carries its feature table\n")
+		} else {
+			fmt.Fprintf(stdout, "# WARNING: -features ignored: restored checkpoint has no online learner; delete %s (or checkpoint elsewhere) to enable it\n", *restorePath)
+		}
+	}
 	if eng == nil {
 		opts := stream.DefaultEngineOptions()
 		opts.Shards = *shards
@@ -66,6 +83,25 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 		opts.EpochLength = *epoch
 		opts.MaxObjects = *maxObjects
 		opts.Decay = *decay
+		if *featPath != "" {
+			f, err := os.Open(*featPath)
+			if err != nil {
+				return err
+			}
+			features, err := data.ReadSourceFeaturesCSV(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			opts.Features = features
+			opts.OnlineLearn = true
+			if *window > 0 {
+				opts.Learn = online.DefaultConfig()
+				opts.Learn.InitAccuracy = opts.InitAccuracy
+				opts.Learn.WindowEpochs = *window
+			}
+			fmt.Fprintf(stdout, "# online learning over %d featured sources\n", len(features))
+		}
 		var err error
 		if eng, err = stream.NewEngine(opts); err != nil {
 			return err
@@ -159,13 +195,15 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 // writeEstimatesCSV emits the final estimates in the exchange format.
 // The CLI's -values output and the server's GET /estimates share this
 // one emitter, so a served engine and a batch run produce comparable
-// bytes.
+// bytes. Rows stream through Engine.EstimatesSeq — shard-major, names
+// sorted within each shard, deterministic for a fixed shard count —
+// so huge object sets never materialize in one slice or map.
 func writeEstimatesCSV(w io.Writer, eng *stream.Engine) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"object", "value", "confidence"}); err != nil {
 		return err
 	}
-	for _, est := range eng.EstimateAll() {
+	for est := range eng.EstimatesSeq() {
 		if err := cw.Write([]string{est.Object, est.Value, fmt.Sprintf("%.4f", est.Confidence)}); err != nil {
 			return err
 		}
@@ -175,14 +213,35 @@ func writeEstimatesCSV(w io.Writer, eng *stream.Engine) error {
 }
 
 // writeSourceAccuraciesCSV emits source accuracies; shared by the
-// CLI's -accuracies output and the server's GET /sources.
+// CLI's -accuracies output and the server's GET /sources. Online
+// engines report the full decomposition — the served accuracy plus
+// the feature-model ("learned") and agreement-only ("empirical")
+// estimates it blends — so an operator can see what the features are
+// contributing.
 func writeSourceAccuraciesCSV(w io.Writer, eng *stream.Engine) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"source", "accuracy"}); err != nil {
+	if !eng.OnlineLearning() {
+		if err := cw.Write([]string{"source", "accuracy"}); err != nil {
+			return err
+		}
+		for _, s := range eng.Sources() {
+			if err := cw.Write([]string{s, fmt.Sprintf("%.4f", eng.SourceAccuracy(s))}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	if err := cw.Write([]string{"source", "accuracy", "learned", "empirical"}); err != nil {
 		return err
 	}
 	for _, s := range eng.Sources() {
-		if err := cw.Write([]string{s, fmt.Sprintf("%.4f", eng.SourceAccuracy(s))}); err != nil {
+		acc, learned, empirical, ok := eng.SourceAccuracyDetail(s)
+		if !ok {
+			continue
+		}
+		rec := []string{s, fmt.Sprintf("%.4f", acc), fmt.Sprintf("%.4f", learned), fmt.Sprintf("%.4f", empirical)}
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}

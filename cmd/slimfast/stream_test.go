@@ -135,3 +135,117 @@ func TestStreamSubcommandErrors(t *testing.T) {
 		t.Error("negative max-objects should error")
 	}
 }
+
+// featuresCSV renders the feature table for streamCSV's sources.
+func featuresCSV() string {
+	return "source,feature\ngood1,tier=reviewed\ngood2,tier=reviewed\nbad,tier=scraped\n"
+}
+
+func TestStreamSubcommandFeatures(t *testing.T) {
+	dir := t.TempDir()
+	featPath := filepath.Join(dir, "features.csv")
+	if err := os.WriteFile(featPath, []byte(featuresCSV()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runStream([]string{"-shards", "2", "-epoch", "64", "-features", featPath, "-window", "16"},
+		strings.NewReader(streamCSV(120)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# online learning over 3 featured sources") {
+		t.Errorf("missing online banner:\n%s", s)
+	}
+	if !strings.Contains(s, "source,accuracy,learned,empirical") {
+		t.Errorf("missing accuracy decomposition header:\n%s", s)
+	}
+	// The shared reviewed-tier feature should rate good1 above bad in
+	// the learned column.
+	var good, bad float64
+	for _, line := range strings.Split(s, "\n") {
+		var acc, learned, empirical float64
+		if n, _ := fmt.Sscanf(line, "good1,%f,%f,%f", &acc, &learned, &empirical); n == 3 {
+			good = learned
+		}
+		if n, _ := fmt.Sscanf(line, "bad,%f,%f,%f", &acc, &learned, &empirical); n == 3 {
+			bad = learned
+		}
+	}
+	if good <= bad {
+		t.Errorf("learned accuracy good1 %.3f should exceed bad %.3f\n%s", good, bad, s)
+	}
+
+	// Byte-determinism across workers holds in feature mode too.
+	render := func(workers int) string {
+		var o bytes.Buffer
+		err := runStream([]string{"-shards", "4", "-workers", fmt.Sprint(workers),
+			"-epoch", "64", "-batch", "128", "-features", featPath},
+			strings.NewReader(streamCSV(150)), &o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.String()
+	}
+	if a, b := render(1), render(4); a != b {
+		t.Error("feature-mode stream output must be byte-identical across -workers")
+	}
+
+	// A missing features file is a clean error.
+	if err := runStream([]string{"-features", filepath.Join(dir, "nope.csv")},
+		strings.NewReader(streamCSV(2)), &out); err == nil {
+		t.Error("missing features file should error")
+	}
+}
+
+func TestStreamSubcommandFeatureFlagEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	featPath := filepath.Join(dir, "features.csv")
+	if err := os.WriteFile(featPath, []byte(featuresCSV()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Negative window is rejected like the other numeric flags.
+	var out bytes.Buffer
+	if err := runStream([]string{"-features", featPath, "-window", "-3"},
+		strings.NewReader(streamCSV(2)), &out); err == nil {
+		t.Error("negative -window should error")
+	}
+
+	// -features alongside a -restore that finds a featureless
+	// checkpoint must warn, not silently serve agreement-only.
+	ckpt := filepath.Join(dir, "plain.ckpt")
+	out.Reset()
+	if err := runStream([]string{"-shards", "2", "-checkpoint", ckpt},
+		strings.NewReader(streamCSV(30)), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runStream([]string{"-restore", ckpt, "-features", featPath},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARNING: -features ignored") {
+		t.Errorf("missing warning when restore drops -features:\n%s", out.String())
+	}
+
+	// And a checkpoint that already carries features gets the calmer
+	// notice.
+	onlineCkpt := filepath.Join(dir, "online.ckpt")
+	out.Reset()
+	if err := runStream([]string{"-shards", "2", "-features", featPath, "-checkpoint", onlineCkpt},
+		strings.NewReader(streamCSV(30)), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runStream([]string{"-restore", onlineCkpt, "-features", featPath},
+		strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# note: -features ignored, restored checkpoint already carries its feature table") {
+		t.Errorf("missing notice on feature-carrying restore:\n%s", s)
+	}
+	if !strings.Contains(s, "source,accuracy,learned,empirical") {
+		t.Errorf("restored online engine lost the decomposition:\n%s", s)
+	}
+}

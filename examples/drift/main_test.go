@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the drift example end to end. run itself errors
+// unless the feature-aware engine out-tracks the agreement-only one
+// after the cohort break, so the demo doubles as a regression test of
+// the drift-recovery claim.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"beta-cohort accuracy tracking error",
+		"feed=beta pipeline breaks",
+		"final tracking error: feature-aware",
+		"low-traffic beta source:",
+		"never-seen source on feed=beta",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -459,3 +459,32 @@ func TestStreamObservationsCSVReportsRowNumbers(t *testing.T) {
 		t.Errorf("fn error lost its position or identity: %v", err)
 	}
 }
+
+func TestReadSourceFeaturesCSV(t *testing.T) {
+	in := "source,feature\ns1,f=a\ns1,f=b\ns1,f=a\ns2,f=b\n"
+	got, err := ReadSourceFeaturesCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("sources = %d, want 2", len(got))
+	}
+	if len(got["s1"]) != 2 || got["s1"][0] != "f=a" || got["s1"][1] != "f=b" {
+		t.Errorf("s1 labels = %v, want deduped first-seen order", got["s1"])
+	}
+	if len(got["s2"]) != 1 {
+		t.Errorf("s2 labels = %v", got["s2"])
+	}
+	// Headerless input works too (no "source" sentinel row).
+	got, err = ReadSourceFeaturesCSV(strings.NewReader("a,x\nb,y\n"))
+	if err != nil || len(got) != 2 {
+		t.Errorf("headerless parse: %v / %v", got, err)
+	}
+	// Failures carry row numbers.
+	if _, err := ReadSourceFeaturesCSV(strings.NewReader("source,feature\ns1,f,extra\n")); err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("malformed row error = %v, want row number", err)
+	}
+	if _, err := ReadSourceFeaturesCSV(strings.NewReader("source,feature\n,f\n")); err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("empty source error = %v, want row number", err)
+	}
+}

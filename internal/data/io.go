@@ -159,6 +159,51 @@ func ReadFeaturesCSV(r io.Reader, b *Builder) error {
 	}
 }
 
+// ReadSourceFeaturesCSV parses the features CSV ("source,feature",
+// one row per active Boolean feature) into a name-keyed table — the
+// form the streaming engine's Features option wants, with no Dataset
+// in sight. Labels are deduplicated per source, first-seen order
+// preserved; malformed rows are reported with their 1-based row
+// number.
+func ReadSourceFeaturesCSV(r io.Reader) (map[string][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.ReuseRecord = true
+	out := map[string][]string{}
+	header := true
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		row++
+		if err != nil {
+			return nil, fmt.Errorf("data: features csv row %d: %w", row, err)
+		}
+		if header {
+			header = false
+			if rec[0] == "source" {
+				continue
+			}
+		}
+		source, label := rec[0], rec[1]
+		if source == "" || label == "" {
+			return nil, fmt.Errorf("data: features csv row %d: source and feature must be non-empty", row)
+		}
+		dup := false
+		for _, have := range out[source] {
+			if have == label {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out[source] = append(out[source], label)
+		}
+	}
+}
+
 // ReadTruthCSV parses a truth CSV against an already-built Builder and
 // returns the TruthMap. Objects or values not present in the builder are
 // interned (an object can be labeled without being observed).

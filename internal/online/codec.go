@@ -1,0 +1,152 @@
+// Checkpoint serialization for the learner: the state section of the
+// engine's format v2. The configuration travels in the engine's
+// options block (it is needed to reconstruct the learner before state
+// can be decoded); this codec carries everything else — weights,
+// vocabulary, per-source features, the window ring, and the RNG/step
+// counters — so a restored learner continues bit-identically.
+package online
+
+import (
+	"errors"
+	"fmt"
+
+	"slimfast/internal/wire"
+)
+
+// EncodeConfig writes the learner configuration through the wire
+// codec; the field order is the format contract, mirrored by
+// DecodeConfig.
+func EncodeConfig(w *wire.Writer, c Config) {
+	w.Float64(c.InitAccuracy)
+	w.Float64(c.PriorStrength)
+	w.Int(c.WindowEpochs)
+	w.Int(c.Steps)
+	w.Int(c.Batch)
+	w.Float64(c.LearningRate)
+	w.Float64(c.Decay)
+	w.Float64(c.L2)
+	w.Bool(c.Intercept)
+	w.Int64(c.Seed)
+}
+
+// DecodeConfig reads a configuration written by EncodeConfig.
+func DecodeConfig(r *wire.Reader) Config {
+	var c Config
+	c.InitAccuracy = r.Float64()
+	c.PriorStrength = r.Float64()
+	c.WindowEpochs = r.Int()
+	c.Steps = r.Int()
+	c.Batch = r.Int()
+	c.LearningRate = r.Float64()
+	c.Decay = r.Float64()
+	c.L2 = r.Float64()
+	c.Intercept = r.Bool()
+	c.Seed = r.Int64()
+	return c
+}
+
+// EncodeState writes the learner's mutable state. Call on a quiescent
+// learner (or a Clone taken under the engine's refresh lock).
+func (l *Learner) EncodeState(w *wire.Writer) {
+	w.Strings(l.featNames)
+	w.Float64s(l.w)
+	w.Uint32(uint32(len(l.srcFeats)))
+	for _, fs := range l.srcFeats {
+		w.Int32s(fs)
+	}
+	w.Uint32(uint32(len(l.ringAgree)))
+	for i := range l.ringAgree {
+		w.Float64s(l.ringAgree[i])
+		w.Float64s(l.ringTotal[i])
+	}
+	w.Int(l.ringPos)
+	w.Float64s(l.winAgree)
+	w.Float64s(l.winTotal)
+	w.Int64(l.epochs)
+	w.Int64(l.step)
+}
+
+// maxStateSlots bounds counts read before the stream checksum has
+// been verified, so a corrupted length cannot drive a large
+// allocation (the grow-as-data-arrives wire decoding bounds the rest).
+const maxStateSlots = 1 << 28
+
+// DecodeState reads state written by EncodeState into the (freshly
+// constructed) learner, validating structural invariants so a
+// corrupted checkpoint fails here rather than panicking at the next
+// refresh. Wire-level errors surface through the reader's sticky
+// error; structural violations return a descriptive error.
+func (l *Learner) DecodeState(r *wire.Reader) error {
+	l.featNames = r.Strings()
+	l.w = r.Float64s()
+	nSrc := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nSrc > maxStateSlots {
+		return fmt.Errorf("online: state declares %d sources", nSrc)
+	}
+	if len(l.w) != 1+len(l.featNames) {
+		return fmt.Errorf("online: %d weights for %d features", len(l.w), len(l.featNames))
+	}
+	l.featIdx = make(map[string]int, len(l.featNames))
+	for k, name := range l.featNames {
+		if _, dup := l.featIdx[name]; dup {
+			return fmt.Errorf("online: duplicate feature label %q", name)
+		}
+		l.featIdx[name] = k
+	}
+	l.srcFeats = l.srcFeats[:0]
+	for s := 0; s < nSrc; s++ {
+		if err := r.Err(); err != nil {
+			return err
+		}
+		fs := r.Int32s()
+		for _, f := range fs {
+			if int(f) < 0 || int(f) >= len(l.featNames) {
+				return fmt.Errorf("online: source %d references feature id %d of %d", s, f, len(l.featNames))
+			}
+		}
+		l.srcFeats = append(l.srcFeats, fs)
+	}
+	nRing := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nRing != l.cfg.WindowEpochs {
+		return fmt.Errorf("online: state has %d ring slots, config says %d", nRing, l.cfg.WindowEpochs)
+	}
+	for i := 0; i < nRing; i++ {
+		if err := r.Err(); err != nil {
+			return err
+		}
+		a := r.Float64s()
+		t := r.Float64s()
+		if len(a) != len(t) {
+			return fmt.Errorf("online: ring slot %d is ragged: %d vs %d", i, len(a), len(t))
+		}
+		if len(a) > nSrc {
+			return fmt.Errorf("online: ring slot %d covers %d sources, table has %d", i, len(a), nSrc)
+		}
+		l.ringAgree[i] = a
+		l.ringTotal[i] = t
+	}
+	l.ringPos = r.Int()
+	l.winAgree = r.Float64s()
+	l.winTotal = r.Float64s()
+	l.epochs = r.Int64()
+	l.step = r.Int64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nRing > 0 && (l.ringPos < 0 || l.ringPos >= nRing) {
+		return fmt.Errorf("online: ring position %d out of %d slots", l.ringPos, nRing)
+	}
+	if nRing == 0 && l.ringPos != 0 {
+		return errors.New("online: nonzero ring position in cumulative mode")
+	}
+	if len(l.winAgree) != nSrc || len(l.winTotal) != nSrc {
+		return fmt.Errorf("online: window sums are ragged: %d/%d for %d sources", len(l.winAgree), len(l.winTotal), nSrc)
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+// Package online implements the streaming half of SLiMFast's headline
+// contribution: *discriminative* source reliability, learned from
+// domain features (Section 3 of the paper), maintained incrementally
+// on a stream instead of refit in batch.
+//
+// The Learner is a minibatch-SGD logistic regression over per-source
+// Boolean feature labels — the same feature layout core.Model's
+// PredictAccuracy uses (σ_s = intercept + Σ_k w_k f_sk, A_s =
+// logistic(σ_s)) — trained against the posterior-agreement statistics
+// the streaming engine settles at every epoch refresh. The training
+// objective is the weighted logistic loss of core's Calibrate pass:
+//
+//	Σ_s [ c_s·(−log A_s(w)) + (t_s−c_s)·(−log(1−A_s(w))) ]
+//
+// where (c_s, t_s) are a source's agreement and claim mass over a
+// sliding window of recent epochs, so the feature weights track
+// *current* source behavior and a drifting cohort drags its shared
+// feature weight with it.
+//
+// The served accuracy is the empirical-Bayes blend Calibrate's
+// closed-form step uses: the windowed agreement ratio shrunk toward
+// the feature-model prediction by PriorStrength pseudo-counts. Heavily
+// observed sources are governed by their own recent agreement;
+// lightly observed ones inherit the prediction of sources that share
+// their features.
+//
+// Everything is deterministic: minibatch order comes from a seed
+// mixed with the epoch counter, the SGD step counter drives the
+// learning-rate decay, and both counters serialize through the
+// checkpoint codec, so restore → continue is bit-identical to never
+// stopping.
+package online
+
+import (
+	"errors"
+	"sort"
+
+	"slimfast/internal/mathx"
+	"slimfast/internal/randx"
+)
+
+// Config tunes the online reliability learner. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	// InitAccuracy anchors the intercept: an untrained learner (and any
+	// source with no active features beyond the intercept) predicts
+	// this accuracy. Must lie in (0, 1).
+	InitAccuracy float64
+
+	// PriorStrength is the pseudo-count mass behind the feature-model
+	// prediction when blending with windowed empirical agreement — the
+	// same role core.Calibrate's priorStrength plays.
+	PriorStrength float64
+
+	// WindowEpochs is the sliding-window length in epoch refreshes: a
+	// source's empirical statistics (and the regression targets) cover
+	// only its last WindowEpochs epochs of settled agreement, so
+	// accuracies adapt when a source drifts. 0 keeps cumulative
+	// statistics (never forget).
+	WindowEpochs int
+
+	// Steps is the number of minibatch SGD steps per epoch refresh,
+	// bounding the learning work added to a refresh regardless of how
+	// many sources are live.
+	Steps int
+
+	// Batch is the number of sources per minibatch.
+	Batch int
+
+	// LearningRate and Decay follow optim's schedule: the step size at
+	// (persisted) step t is LearningRate / (1 + Decay·t).
+	LearningRate float64
+	Decay        float64
+
+	// L2 is the ridge penalty on the feature weights (the intercept is
+	// unpenalized, as in standard logistic regression).
+	L2 float64
+
+	// Intercept learns a global intercept weight. Without it the
+	// feature weights must also absorb the base accuracy level.
+	Intercept bool
+
+	// Seed drives the deterministic minibatch shuffle (mixed with the
+	// epoch counter, so every refresh visits sources in a fresh but
+	// reproducible order).
+	Seed int64
+}
+
+// DefaultConfig returns settings that track the batch discriminative
+// fit on the test workloads without per-stream tuning.
+func DefaultConfig() Config {
+	return Config{
+		InitAccuracy:  0.7,
+		PriorStrength: 4,
+		WindowEpochs:  32,
+		Steps:         24,
+		Batch:         16,
+		LearningRate:  0.3,
+		Decay:         0.01,
+		L2:            1e-3,
+		Intercept:     true,
+		Seed:          1,
+	}
+}
+
+// Validate reports the first invalid option.
+func (c Config) Validate() error {
+	if c.InitAccuracy <= 0 || c.InitAccuracy >= 1 {
+		return errors.New("online: InitAccuracy must be in (0,1)")
+	}
+	if c.PriorStrength < 0 {
+		return errors.New("online: PriorStrength must be non-negative")
+	}
+	if c.WindowEpochs < 0 {
+		return errors.New("online: WindowEpochs must be non-negative")
+	}
+	if c.Steps < 0 {
+		return errors.New("online: Steps must be non-negative")
+	}
+	if c.Batch < 1 {
+		return errors.New("online: Batch must be positive")
+	}
+	if c.LearningRate <= 0 {
+		return errors.New("online: LearningRate must be positive")
+	}
+	if c.Decay < 0 || c.L2 < 0 {
+		return errors.New("online: Decay and L2 must be non-negative")
+	}
+	return nil
+}
+
+// Accuracy clamp bounds, matching the streaming engine's
+// smoothedAccuracy so logits stay bounded either way.
+const (
+	accLo = 0.02
+	accHi = 0.98
+)
+
+// Learner is the online discriminative-reliability model. It is not
+// safe for concurrent use; the streaming engine serializes all
+// mutation under its refresh lock and guards reads separately.
+type Learner struct {
+	cfg Config
+
+	// Feature vocabulary, interned in first-seen order, and the learned
+	// weights: w[0] is the intercept slot (present even when disabled,
+	// to keep the layout stable), features at w[1+k].
+	featIdx   map[string]int
+	featNames []string
+	w         []float64
+
+	// srcFeats[s] lists source s's sorted feature ids; sources register
+	// once, in intern order, via SetFeatures.
+	srcFeats [][]int32
+
+	// Sliding-window ring of per-epoch settled deltas: slot i holds the
+	// per-source (agree, total) the engine drained at one refresh.
+	// winAgree/winTotal are the current window sums.
+	ringAgree [][]float64
+	ringTotal [][]float64
+	ringPos   int
+	winAgree  []float64
+	winTotal  []float64
+
+	// Persisted counters: epochs drives the per-refresh shuffle seed,
+	// step the learning-rate decay.
+	epochs int64
+	step   int64
+
+	// Reused scratch (active-source order and the dense gradient).
+	active []int
+	grad   []float64
+}
+
+// New returns an empty learner.
+func New(cfg Config) (*Learner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Learner{
+		cfg:     cfg,
+		featIdx: map[string]int{},
+		w:       make([]float64, 1),
+	}
+	if cfg.Intercept {
+		l.w[0] = mathx.Logit(cfg.InitAccuracy)
+	}
+	if cfg.WindowEpochs > 0 {
+		l.ringAgree = make([][]float64, cfg.WindowEpochs)
+		l.ringTotal = make([][]float64, cfg.WindowEpochs)
+	}
+	return l, nil
+}
+
+// Config returns the learner's configuration.
+func (l *Learner) Config() Config { return l.cfg }
+
+// NumSources returns how many sources have registered features.
+func (l *Learner) NumSources() int { return len(l.srcFeats) }
+
+// NumFeatures returns the size of the interned feature vocabulary.
+func (l *Learner) NumFeatures() int { return len(l.featNames) }
+
+// SetFeatures registers source sid with the given feature labels,
+// interning new labels into the vocabulary. Sources must register in
+// ascending id order (the engine registers at intern time), each
+// exactly once; labels are deduplicated and sorted by feature id so
+// the gradient accumulation order is reproducible.
+func (l *Learner) SetFeatures(sid int, labels []string) {
+	if sid != len(l.srcFeats) {
+		panic("online: sources must register in ascending id order")
+	}
+	var feats []int32
+	for _, lbl := range labels {
+		k, ok := l.featIdx[lbl]
+		if !ok {
+			k = len(l.featNames)
+			l.featIdx[lbl] = k
+			l.featNames = append(l.featNames, lbl)
+			l.w = append(l.w, 0)
+		}
+		dup := false
+		for _, f := range feats {
+			if f == int32(k) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			feats = append(feats, int32(k))
+		}
+	}
+	sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
+	l.srcFeats = append(l.srcFeats, feats)
+	l.winAgree = append(l.winAgree, 0)
+	l.winTotal = append(l.winTotal, 0)
+}
+
+// FeatureWeight returns the learned weight of a feature label (0 for
+// unknown labels).
+func (l *Learner) FeatureWeight(label string) float64 {
+	if k, ok := l.featIdx[label]; ok {
+		return l.w[1+k]
+	}
+	return 0
+}
+
+// sigmaOf computes the feature-model logit of source sid at the
+// current weights.
+func (l *Learner) sigmaOf(sid int) float64 {
+	var z float64
+	if l.cfg.Intercept {
+		z = l.w[0]
+	}
+	for _, k := range l.srcFeats[sid] {
+		z += l.w[1+k]
+	}
+	return z
+}
+
+// Predict returns the pure feature-model accuracy estimate of source
+// sid — what the regression alone says, before any empirical evidence
+// is blended in.
+func (l *Learner) Predict(sid int) float64 {
+	return mathx.Logistic(l.sigmaOf(sid))
+}
+
+// PredictLabels estimates the accuracy of a source never seen on the
+// stream from feature labels alone (the PredictAccuracy analog;
+// unknown labels are ignored).
+func (l *Learner) PredictLabels(labels []string) float64 {
+	var z float64
+	if l.cfg.Intercept {
+		z = l.w[0]
+	}
+	for _, lbl := range labels {
+		if k, ok := l.featIdx[lbl]; ok {
+			z += l.w[1+k]
+		}
+	}
+	return mathx.Logistic(z)
+}
+
+// windowStats returns source sid's windowed (agree, total) with the
+// agreement clamped into [0, total]: settled deltas can briefly go
+// negative when old posteriors drift down inside the window.
+func (l *Learner) windowStats(sid int) (agree, total float64) {
+	total = l.winTotal[sid]
+	if total < 0 {
+		total = 0
+	}
+	agree = mathx.Clamp(l.winAgree[sid], 0, total)
+	return agree, total
+}
+
+// Blend is the empirical-Bayes accuracy estimate given agreement mass
+// c over claim mass t: the agreement ratio shrunk toward the
+// feature-model prediction by PriorStrength pseudo-counts, clamped
+// like the engine's smoothedAccuracy.
+func (l *Learner) Blend(sid int, c, t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	c = mathx.Clamp(c, 0, t)
+	prior := l.Predict(sid)
+	return mathx.Clamp((c+l.cfg.PriorStrength*prior)/(t+l.cfg.PriorStrength), accLo, accHi)
+}
+
+// Accuracy returns the served accuracy of source sid: the windowed
+// agreement ratio blended with the feature-model prior.
+func (l *Learner) Accuracy(sid int) float64 {
+	c, t := l.windowStats(sid)
+	return l.Blend(sid, c, t)
+}
+
+// ObserveEpoch ingests one epoch's settled per-source deltas (indexed
+// by source id; shorter than NumSources is fine — missing tails are
+// zero), rotates the sliding window, and runs the configured number of
+// minibatch SGD steps against the updated window. Call once per engine
+// epoch refresh, after every source in the vectors has registered.
+func (l *Learner) ObserveEpoch(agree, total []float64) {
+	if len(agree) > len(l.srcFeats) || len(total) != len(agree) {
+		panic("online: ObserveEpoch vectors exceed registered sources")
+	}
+	l.pushWindow(agree, total)
+	l.train(l.windowStats)
+	l.epochs++
+}
+
+// FitMass runs one round of minibatch SGD against explicitly supplied
+// cumulative statistics instead of the sliding window — the streaming
+// engine's exact re-sweep (Refine) uses it to re-anchor the feature
+// weights on full posterior-agreement mass, the way core.Calibrate's
+// feature-pooling pass does. The epoch and step counters advance as in
+// ObserveEpoch, so the call sequence stays deterministic and
+// checkpoint-restorable.
+func (l *Learner) FitMass(agree, total []float64) {
+	if len(agree) > len(l.srcFeats) || len(total) != len(agree) {
+		panic("online: FitMass vectors exceed registered sources")
+	}
+	l.train(func(sid int) (c, t float64) {
+		if sid >= len(agree) {
+			return 0, 0
+		}
+		t = total[sid]
+		if t < 0 {
+			t = 0
+		}
+		return mathx.Clamp(agree[sid], 0, t), t
+	})
+	l.epochs++
+}
+
+// pushWindow folds one epoch's deltas into the window sums, evicting
+// the slot that falls off the ring (cumulative mode just accumulates).
+func (l *Learner) pushWindow(agree, total []float64) {
+	if l.cfg.WindowEpochs == 0 {
+		for s := range agree {
+			l.winAgree[s] += agree[s]
+			l.winTotal[s] += total[s]
+		}
+		return
+	}
+	oldA := l.ringAgree[l.ringPos]
+	oldT := l.ringTotal[l.ringPos]
+	for s := range oldA {
+		l.winAgree[s] -= oldA[s]
+		l.winTotal[s] -= oldT[s]
+	}
+	// Store a copy sized to the sources seen this epoch; the slot is
+	// replayed verbatim when it falls off the ring.
+	newA := append(oldA[:0], agree...)
+	newT := append(oldT[:0], total...)
+	l.ringAgree[l.ringPos] = newA
+	l.ringTotal[l.ringPos] = newT
+	for s := range agree {
+		l.winAgree[s] += agree[s]
+		l.winTotal[s] += total[s]
+	}
+	l.ringPos = (l.ringPos + 1) % l.cfg.WindowEpochs
+}
+
+// train runs one round of minibatch SGD steps: sources with claim
+// mass under stats, shuffled by a seed derived from the epoch
+// counter, consumed in minibatches at frozen weights with one mean-
+// gradient step per batch. Gradients are normalized by the mean claim
+// mass of the active sources (as in core.Calibrate) so step sizes stay
+// O(1) regardless of traffic volume.
+func (l *Learner) train(stats func(sid int) (c, t float64)) {
+	if l.cfg.Steps == 0 {
+		return
+	}
+	l.active = l.active[:0]
+	var massSum float64
+	for s := range l.srcFeats {
+		if _, t := stats(s); t > 0 {
+			l.active = append(l.active, s)
+			massSum += t
+		}
+	}
+	n := len(l.active)
+	if n == 0 {
+		return
+	}
+	massMean := massSum / float64(n)
+	rng := randx.New(randx.Mix(l.cfg.Seed, l.epochs))
+	rng.Shuffle(n, func(i, j int) { l.active[i], l.active[j] = l.active[j], l.active[i] })
+
+	if cap(l.grad) < len(l.w) {
+		l.grad = make([]float64, len(l.w))
+	}
+	g := l.grad[:len(l.w)]
+	pos := 0
+	for step := 0; step < l.cfg.Steps; step++ {
+		k := l.cfg.Batch
+		if k > n {
+			k = n
+		}
+		for j := range g {
+			g[j] = 0
+		}
+		for b := 0; b < k; b++ {
+			s := l.active[pos]
+			pos++
+			if pos == n {
+				pos = 0
+			}
+			c, t := stats(s)
+			a := mathx.Logistic(l.sigmaOf(s))
+			// d/dσ of the weighted logistic loss, volume-normalized.
+			r := (t*a - c) / massMean
+			if l.cfg.Intercept {
+				g[0] += r
+			}
+			for _, f := range l.srcFeats[s] {
+				g[1+f] += r
+			}
+		}
+		lr := l.cfg.LearningRate / (1 + l.cfg.Decay*float64(l.step))
+		l.step++
+		inv := 1 / float64(k)
+		if l.cfg.Intercept {
+			l.w[0] -= lr * g[0] * inv // intercept: no L2
+		}
+		for j := 1; j < len(l.w); j++ {
+			l.w[j] -= lr * (g[j]*inv + l.cfg.L2*l.w[j])
+		}
+	}
+}
+
+// Clone deep-copies the learner (used by the engine's copy-on-read
+// checkpoint path: snapshot under the refresh lock, encode without).
+func (l *Learner) Clone() *Learner {
+	c := &Learner{
+		cfg:       l.cfg,
+		featIdx:   make(map[string]int, len(l.featIdx)),
+		featNames: append([]string(nil), l.featNames...),
+		w:         append([]float64(nil), l.w...),
+		srcFeats:  make([][]int32, len(l.srcFeats)),
+		ringPos:   l.ringPos,
+		winAgree:  append([]float64(nil), l.winAgree...),
+		winTotal:  append([]float64(nil), l.winTotal...),
+		epochs:    l.epochs,
+		step:      l.step,
+	}
+	for k, v := range l.featIdx {
+		c.featIdx[k] = v
+	}
+	for s := range l.srcFeats {
+		c.srcFeats[s] = append([]int32(nil), l.srcFeats[s]...)
+	}
+	if l.cfg.WindowEpochs > 0 {
+		c.ringAgree = make([][]float64, len(l.ringAgree))
+		c.ringTotal = make([][]float64, len(l.ringTotal))
+		for i := range l.ringAgree {
+			c.ringAgree[i] = append([]float64(nil), l.ringAgree[i]...)
+			c.ringTotal[i] = append([]float64(nil), l.ringTotal[i]...)
+		}
+	}
+	return c
+}

@@ -1,0 +1,362 @@
+package online
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"slimfast/internal/wire"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.InitAccuracy = 0 },
+		func(c *Config) { c.InitAccuracy = 1 },
+		func(c *Config) { c.PriorStrength = -1 },
+		func(c *Config) { c.WindowEpochs = -1 },
+		func(c *Config) { c.Steps = -1 },
+		func(c *Config) { c.Batch = 0 },
+		func(c *Config) { c.LearningRate = 0 },
+		func(c *Config) { c.Decay = -1 },
+		func(c *Config) { c.L2 = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d should be rejected", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFeaturesInternsAndDedups(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	l.SetFeatures(0, []string{"b", "a", "b"})
+	l.SetFeatures(1, []string{"a", "c"})
+	l.SetFeatures(2, nil)
+	if l.NumSources() != 3 || l.NumFeatures() != 3 {
+		t.Fatalf("sources=%d features=%d, want 3/3", l.NumSources(), l.NumFeatures())
+	}
+	if len(l.srcFeats[0]) != 2 {
+		t.Errorf("duplicate label not deduped: %v", l.srcFeats[0])
+	}
+	// Sorted by feature id ("b" interned before "a").
+	if l.srcFeats[0][0] != 0 || l.srcFeats[0][1] != 1 {
+		t.Errorf("features not sorted: %v", l.srcFeats[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order registration should panic")
+		}
+	}()
+	l.SetFeatures(7, nil)
+}
+
+func TestUntrainedPredictsInitAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitAccuracy = 0.65
+	l, _ := New(cfg)
+	l.SetFeatures(0, []string{"f"})
+	if got := l.Predict(0); math.Abs(got-0.65) > 1e-12 {
+		t.Errorf("untrained Predict = %v, want 0.65", got)
+	}
+	if got := l.PredictLabels([]string{"unknown"}); math.Abs(got-0.65) > 1e-12 {
+		t.Errorf("untrained PredictLabels = %v, want 0.65", got)
+	}
+}
+
+// feedCohorts registers nPer sources per cohort (features "good" and
+// "bad") and feeds epochs where good sources agree at accGood and bad
+// ones at accBad, with mass claims per source per epoch.
+func feedCohorts(l *Learner, nPer, epochs int, accGood, accBad, mass float64) {
+	if l.NumSources() == 0 {
+		for s := 0; s < nPer; s++ {
+			l.SetFeatures(s, []string{"good"})
+		}
+		for s := nPer; s < 2*nPer; s++ {
+			l.SetFeatures(s, []string{"bad"})
+		}
+	}
+	agree := make([]float64, 2*nPer)
+	total := make([]float64, 2*nPer)
+	for s := 0; s < nPer; s++ {
+		agree[s] = accGood * mass
+		total[s] = mass
+	}
+	for s := nPer; s < 2*nPer; s++ {
+		agree[s] = accBad * mass
+		total[s] = mass
+	}
+	for e := 0; e < epochs; e++ {
+		l.ObserveEpoch(agree, total)
+	}
+}
+
+func TestLearnsFeatureSeparation(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	feedCohorts(l, 6, 30, 0.9, 0.3, 20)
+	if wg, wb := l.FeatureWeight("good"), l.FeatureWeight("bad"); wg <= wb+0.5 {
+		t.Errorf("good weight %.3f should clearly exceed bad %.3f", wg, wb)
+	}
+	if pg, pb := l.Predict(0), l.Predict(6); pg <= pb+0.2 {
+		t.Errorf("Predict: good %.3f should clearly exceed bad %.3f", pg, pb)
+	}
+	// A source never seen on the stream inherits its cohort's estimate.
+	if p := l.PredictLabels([]string{"bad"}); p >= 0.6 {
+		t.Errorf("unseen bad-cohort source predicted %.3f, want < 0.6", p)
+	}
+	if p := l.PredictLabels([]string{"good"}); p <= 0.7 {
+		t.Errorf("unseen good-cohort source predicted %.3f, want > 0.7", p)
+	}
+	if l.FeatureWeight("never-interned") != 0 {
+		t.Error("unknown feature should have zero weight")
+	}
+}
+
+func TestBlendFollowsEvidenceMass(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	feedCohorts(l, 6, 30, 0.9, 0.3, 20)
+	// Heavy evidence dominates the prior...
+	if a := l.Blend(6, 85, 100); math.Abs(a-0.85) > 0.03 {
+		t.Errorf("high-mass blend = %.3f, want ≈ 0.85", a)
+	}
+	// ...light evidence follows the feature prior.
+	prior := l.Predict(6)
+	if a := l.Blend(6, 1, 1); math.Abs(a-prior) > 0.15 {
+		t.Errorf("low-mass blend = %.3f, want near prior %.3f", a, prior)
+	}
+	// Degenerate inputs stay in the clamp range.
+	if a := l.Blend(0, -5, -3); a < accLo || a > accHi {
+		t.Errorf("degenerate blend = %v out of range", a)
+	}
+}
+
+func TestWindowTracksDriftFasterThanCumulative(t *testing.T) {
+	win := DefaultConfig()
+	win.WindowEpochs = 8
+	cum := DefaultConfig()
+	cum.WindowEpochs = 0
+	lw, _ := New(win)
+	lc, _ := New(cum)
+	for _, l := range []*Learner{lw, lc} {
+		feedCohorts(l, 4, 40, 0.9, 0.9, 25) // long good history for everyone
+		feedCohorts(l, 4, 12, 0.9, 0.2, 25) // then the bad cohort degrades
+	}
+	aw, ac := lw.Accuracy(4), lc.Accuracy(4)
+	if aw >= ac-0.05 {
+		t.Errorf("windowed accuracy %.3f should fall well below cumulative %.3f after drift", aw, ac)
+	}
+	if aw > 0.45 {
+		t.Errorf("windowed accuracy %.3f should approach the post-drift level", aw)
+	}
+}
+
+func TestObserveEpochDeterministic(t *testing.T) {
+	run := func() *Learner {
+		l, _ := New(DefaultConfig())
+		feedCohorts(l, 5, 20, 0.85, 0.35, 10)
+		return l
+	}
+	a, b := run(), run()
+	for j := range a.w {
+		if a.w[j] != b.w[j] {
+			t.Fatalf("weight %d differs bit-for-bit: %v vs %v", j, a.w[j], b.w[j])
+		}
+	}
+	for s := 0; s < a.NumSources(); s++ {
+		if a.Accuracy(s) != b.Accuracy(s) {
+			t.Fatalf("accuracy of source %d differs", s)
+		}
+	}
+}
+
+func TestObserveEpochRejectsUnregisteredSources(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	l.SetFeatures(0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized epoch vector should panic")
+		}
+	}()
+	l.ObserveEpoch(make([]float64, 3), make([]float64, 3))
+}
+
+const testMagic = "OLTS"
+
+// encodeLearner round-trips through the wire codec the way the engine
+// checkpoint does.
+func encodeLearner(t *testing.T, l *Learner) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf, testMagic, 1)
+	EncodeConfig(w, l.Config())
+	l.Clone().EncodeState(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeLearner(b []byte) (*Learner, error) {
+	r, err := wire.NewReader(bytes.NewReader(b), testMagic, 1)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DecodeConfig(r)
+	l, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.DecodeState(r); err != nil {
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func TestCodecRoundTripContinuesBitIdentically(t *testing.T) {
+	for _, windowEpochs := range []int{0, 8} {
+		cfg := DefaultConfig()
+		cfg.WindowEpochs = windowEpochs
+		orig, _ := New(cfg)
+		feedCohorts(orig, 4, 17, 0.88, 0.4, 12)
+		restored, err := decodeLearner(encodeLearner(t, orig))
+		if err != nil {
+			t.Fatalf("window=%d: %v", windowEpochs, err)
+		}
+		if restored.Config() != orig.Config() {
+			t.Fatalf("window=%d: config did not round-trip", windowEpochs)
+		}
+		// Continue both: every subsequent update must stay bit-exact.
+		feedCohorts(orig, 4, 9, 0.6, 0.6, 12)
+		feedCohorts(restored, 4, 9, 0.6, 0.6, 12)
+		for j := range orig.w {
+			if orig.w[j] != restored.w[j] {
+				t.Fatalf("window=%d: weight %d diverged after restore", windowEpochs, j)
+			}
+		}
+		for s := 0; s < orig.NumSources(); s++ {
+			if orig.Accuracy(s) != restored.Accuracy(s) {
+				t.Fatalf("window=%d: source %d accuracy diverged after restore", windowEpochs, s)
+			}
+		}
+	}
+}
+
+func TestDecodeStateRejectsCorruption(t *testing.T) {
+	write := func(build func(w *wire.Writer)) []byte {
+		var buf bytes.Buffer
+		w := wire.NewWriter(&buf, testMagic, 1)
+		EncodeConfig(w, DefaultConfig())
+		build(w)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name  string
+		build func(w *wire.Writer)
+	}{
+		{"weights-vs-features", func(w *wire.Writer) {
+			w.Strings([]string{"f"})
+			w.Float64s([]float64{0}) // want 2 weights for 1 feature
+		}},
+		{"dangling-feature-id", func(w *wire.Writer) {
+			w.Strings([]string{"f"})
+			w.Float64s([]float64{0, 0})
+			w.Uint32(1)
+			w.Int32s([]int32{5})
+		}},
+		{"duplicate-label", func(w *wire.Writer) {
+			w.Strings([]string{"f", "f"})
+			w.Float64s([]float64{0, 0, 0})
+		}},
+		{"ring-size-mismatch", func(w *wire.Writer) {
+			w.Strings(nil)
+			w.Float64s([]float64{0})
+			w.Uint32(0)
+			w.Uint32(3) // config says WindowEpochs=32
+		}},
+		{"ragged-window-sums", func(w *wire.Writer) {
+			w.Strings(nil)
+			w.Float64s([]float64{0})
+			w.Uint32(1)       // one source
+			w.Int32s(nil)     // its features
+			w.Uint32(32)      // ring slots
+			writeEmptyRing(w) // 32 empty slots
+			w.Int(0)
+			w.Float64s(nil) // winAgree: empty for 1 source
+			w.Float64s(nil)
+			w.Int64(0)
+			w.Int64(0)
+		}},
+		{"ring-pos-out-of-range", func(w *wire.Writer) {
+			w.Strings(nil)
+			w.Float64s([]float64{0})
+			w.Uint32(0)
+			w.Uint32(32)
+			writeEmptyRing(w)
+			w.Int(99)
+			w.Float64s(nil)
+			w.Float64s(nil)
+			w.Int64(0)
+			w.Int64(0)
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := decodeLearner(write(tc.build)); err == nil {
+			t.Errorf("%s: corrupt state should be rejected", tc.name)
+		}
+	}
+	// Truncation surfaces as a wire error, never a panic.
+	good := encodeLearner(t, func() *Learner { l, _ := New(DefaultConfig()); return l }())
+	for _, cut := range []int{9, len(good) / 2, len(good) - 2} {
+		if _, err := decodeLearner(good[:cut]); err == nil {
+			t.Errorf("cut=%d: truncated state should be rejected", cut)
+		}
+	}
+}
+
+func writeEmptyRing(w *wire.Writer) {
+	for i := 0; i < 32; i++ {
+		w.Float64s(nil)
+		w.Float64s(nil)
+	}
+}
+
+func TestZeroStepsSkipsTraining(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 0
+	l, _ := New(cfg)
+	l.SetFeatures(0, []string{"f"})
+	l.ObserveEpoch([]float64{5}, []float64{10})
+	if got := l.FeatureWeight("f"); got != 0 {
+		t.Errorf("Steps=0 must not move weights, got %v", got)
+	}
+	// The window still updates, so served accuracy follows evidence.
+	if a := l.Accuracy(0); math.Abs(a-(5+4*0.7)/(10+4)) > 1e-9 {
+		t.Errorf("accuracy = %v, want the pure blend", a)
+	}
+}
+
+func TestAccuracyNamesAreStable(t *testing.T) {
+	// Guard the layout contract the engine relies on: feature ids are
+	// first-seen ordered and stable across identical registrations.
+	l, _ := New(DefaultConfig())
+	for s := 0; s < 4; s++ {
+		l.SetFeatures(s, []string{fmt.Sprintf("g%d", s%2)})
+	}
+	if l.NumFeatures() != 2 {
+		t.Fatalf("features = %d, want 2", l.NumFeatures())
+	}
+	if l.featIdx["g0"] != 0 || l.featIdx["g1"] != 1 {
+		t.Errorf("feature ids not first-seen ordered: %v", l.featIdx)
+	}
+}

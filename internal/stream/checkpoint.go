@@ -23,13 +23,22 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
+	"slimfast/internal/online"
 	"slimfast/internal/wire"
 )
 
+// Format versions. v1 is the PR 4 layout; v2 appends the online
+// discriminative-learning section — the Features table, the learner
+// configuration (options block) and the learner state (weights, window
+// ring, RNG/step counters) after the shard records. Writers always
+// emit the current version; Restore reads both, so pre-online
+// checkpoints keep warm-booting (as agreement-only engines).
 const (
-	checkpointMagic   = "SFCK"
-	checkpointVersion = uint32(1)
+	checkpointMagic     = "SFCK"
+	checkpointVersionV1 = uint32(1)
+	checkpointVersion   = uint32(2)
 )
 
 // maxCheckpointSlots bounds slab and claim counts read from a
@@ -146,6 +155,17 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	opts := e.opts
 	opts.Shards = e.nShards            // pin the resolved count: GOMAXPROCS on the
 	opts.EpochLength = int(e.epochLen) // restoring host must not change the layout
+	var learnerSnap *online.Learner
+	if e.learner != nil {
+		// Pin the resolved learner config too (Learn may have been the
+		// zero value), and deep-copy the state so encoding runs with no
+		// engine locks held. Learner mutation happens under refreshMu,
+		// which is held here.
+		opts.OnlineLearn = true
+		opts.Learn = e.learner.Config()
+		opts.Features = e.features
+		learnerSnap = e.learner.Clone()
+	}
 	e.refreshMu.Unlock()
 
 	bw := bufio.NewWriter(w)
@@ -164,6 +184,9 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	for s := range snaps {
 		encodeShard(ww, s, &snaps[s])
 	}
+	if learnerSnap != nil {
+		learnerSnap.EncodeState(ww)
+	}
 	if err := ww.Close(); err != nil {
 		return fmt.Errorf("stream: checkpoint: %w", err)
 	}
@@ -174,7 +197,10 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 }
 
 // encodeOptions writes the EngineOptions block (resolved values, not
-// the zero-means-default originals).
+// the zero-means-default originals). The v2 tail carries the online
+// section header: the learn switch, the resolved learner config, and
+// the source-feature table (sorted by source name, so the bytes are
+// deterministic regardless of map order).
 func encodeOptions(w *wire.Writer, o EngineOptions) {
 	w.Float64(o.InitAccuracy)
 	w.Float64(o.PriorStrength)
@@ -183,9 +209,24 @@ func encodeOptions(w *wire.Writer, o EngineOptions) {
 	w.Int(o.Workers)
 	w.Int(o.EpochLength)
 	w.Int(o.MaxObjects)
+	w.Bool(o.OnlineLearn)
+	if !o.OnlineLearn {
+		return
+	}
+	online.EncodeConfig(w, o.Learn)
+	names := make([]string, 0, len(o.Features))
+	for name := range o.Features {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Uint32(uint32(len(names)))
+	for _, name := range names {
+		w.String(name)
+		w.Strings(o.Features[name])
+	}
 }
 
-func decodeOptions(r *wire.Reader) EngineOptions {
+func decodeOptions(r *wire.Reader, version uint32) (EngineOptions, error) {
 	var o EngineOptions
 	o.InitAccuracy = r.Float64()
 	o.PriorStrength = r.Float64()
@@ -194,7 +235,36 @@ func decodeOptions(r *wire.Reader) EngineOptions {
 	o.Workers = r.Int()
 	o.EpochLength = r.Int()
 	o.MaxObjects = r.Int()
-	return o
+	if version < 2 {
+		return o, nil
+	}
+	o.OnlineLearn = r.Bool()
+	if !o.OnlineLearn {
+		return o, nil
+	}
+	o.Learn = online.DecodeConfig(r)
+	nFeat := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return o, err
+	}
+	if nFeat > maxCheckpointSlots {
+		return o, corruptf("options declare %d feature rows", nFeat)
+	}
+	if nFeat > 0 {
+		o.Features = make(map[string][]string, nFeat)
+		for i := 0; i < nFeat; i++ {
+			if err := r.Err(); err != nil {
+				return o, err
+			}
+			name := r.String()
+			labels := r.Strings()
+			if _, dup := o.Features[name]; dup {
+				return o, corruptf("feature table lists source %q twice", name)
+			}
+			o.Features[name] = labels
+		}
+	}
+	return o, r.Err()
 }
 
 // encodeShard writes one shard record: an index tag (so Restore can
@@ -253,11 +323,14 @@ func corruptf(format string, args ...any) error {
 // structural corruption — it returns a nil engine and a typed error;
 // no partially-restored engine ever escapes.
 func Restore(r io.Reader) (*Engine, error) {
-	rr, err := wire.NewReader(bufio.NewReader(r), checkpointMagic, checkpointVersion)
+	rr, version, err := wire.NewReaderVersions(bufio.NewReader(r), checkpointMagic, checkpointVersionV1, checkpointVersion)
 	if err != nil {
 		return nil, fmt.Errorf("stream: restore: %w", err)
 	}
-	opts := decodeOptions(rr)
+	opts, err := decodeOptions(rr, version)
+	if err != nil {
+		return nil, fmt.Errorf("stream: restore: %w", err)
+	}
 	nObs := rr.Int64()
 	sinceEp := rr.Int64()
 	srcNames := rr.Strings()
@@ -301,6 +374,21 @@ func Restore(r io.Reader) (*Engine, error) {
 	for s := 0; s < nShards; s++ {
 		if err := decodeShard(rr, e, s, nSrc, len(valNames)); err != nil {
 			return nil, err
+		}
+	}
+	if e.learner != nil {
+		// NewEngine built a fresh learner from the decoded config;
+		// overlay the checkpointed state so training continues exactly
+		// where it stopped. Structural failures are corruption, not a
+		// format skew.
+		if err := e.learner.DecodeState(rr); err != nil {
+			if rr.Err() != nil {
+				return nil, fmt.Errorf("stream: restore: %w", rr.Err())
+			}
+			return nil, corruptf("online learner: %v", err)
+		}
+		if n := e.learner.NumSources(); n > nSrc {
+			return nil, corruptf("online learner tracks %d sources, table has %d", n, nSrc)
 		}
 	}
 	if err := rr.Close(); err != nil {

@@ -31,6 +31,7 @@ package stream
 
 import (
 	"errors"
+	"iter"
 	"math"
 	"sort"
 	"sync"
@@ -38,6 +39,7 @@ import (
 
 	"slimfast/internal/data"
 	"slimfast/internal/mathx"
+	"slimfast/internal/online"
 	"slimfast/internal/parallel"
 )
 
@@ -67,6 +69,24 @@ type EngineOptions struct {
 	// refreshes; <= 0 selects DefaultEpochLength. Shorter epochs track
 	// source drift faster at the cost of more frequent drains.
 	EpochLength int
+
+	// Features assigns domain feature labels to source names (the
+	// paper's f_sk indicators: "BounceRate=Low", "feed=alpha", ...).
+	// A non-nil map enables online discriminative learning; sources
+	// absent from the map participate with no features (intercept
+	// only). The map is read at source-intern and refresh time only —
+	// callers must not mutate it after NewEngine.
+	Features map[string][]string
+
+	// OnlineLearn enables the discriminative reliability learner even
+	// without features (windowed agreement + intercept-only
+	// regression, which already adapts to drift). Implied by a
+	// non-empty Features map.
+	OnlineLearn bool
+
+	// Learn tunes the online learner; the zero value selects
+	// online.DefaultConfig() with InitAccuracy inherited from Options.
+	Learn online.Config
 
 	// MaxObjects bounds live per-object state: when positive, each
 	// shard keeps at most ceil(MaxObjects/Shards) objects and evicts
@@ -102,7 +122,30 @@ func (o EngineOptions) Validate() error {
 	if o.MaxObjects < 0 {
 		return errors.New("stream: MaxObjects must be non-negative")
 	}
+	if o.onlineEnabled() {
+		if err := o.learnConfig().Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// onlineEnabled reports whether the options select the discriminative
+// learner path.
+func (o EngineOptions) onlineEnabled() bool {
+	return o.OnlineLearn || len(o.Features) > 0
+}
+
+// learnConfig resolves the learner configuration: the zero value means
+// defaults, with the learner's prior anchored on the engine's
+// InitAccuracy.
+func (o EngineOptions) learnConfig() online.Config {
+	cfg := o.Learn
+	if cfg == (online.Config{}) {
+		cfg = online.DefaultConfig()
+		cfg.InitAccuracy = o.InitAccuracy
+	}
+	return cfg
 }
 
 // Triple is one streamed claim: Source says Object has Value.
@@ -236,10 +279,20 @@ type Engine struct {
 	nObs      atomic.Int64
 	sinceEp   atomic.Int64
 
+	// learner is the online discriminative-reliability model (nil
+	// unless the options enable it). All mutation happens under
+	// refreshMu; learnMu additionally guards it so the read API can
+	// consult predictions while a refresh retrains. features is the
+	// source-name → labels table the learner registers from.
+	learner  *online.Learner
+	learnMu  sync.RWMutex
+	features map[string][]string
+
 	// Drain scratch, reused across refreshes (guarded by refreshMu).
 	mergeAgree []float64
 	mergeTotal []float64
 	mergeObs   []int64
+	accScratch []float64
 }
 
 // NewEngine returns an empty sharded engine.
@@ -259,6 +312,14 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	}
 	if opts.MaxObjects > 0 {
 		e.shardCap = (opts.MaxObjects + n - 1) / n
+	}
+	if opts.onlineEnabled() {
+		learner, err := online.New(opts.learnConfig())
+		if err != nil {
+			return nil, err
+		}
+		e.learner = learner
+		e.features = opts.Features
 	}
 	e.initSigma = mathx.Logit(smoothedAccuracy(opts.Options, 0, 0))
 	for i := range e.shards {
@@ -349,18 +410,34 @@ func (e *Engine) Observe(source, objectName, value string) {
 	}
 }
 
+// resolvedClaim carries a claim's interned ids and the frozen σ it
+// will be scored with, captured on the calling goroutine.
+type resolvedClaim struct {
+	sid   int
+	vid   int
+	sigma float64
+	epoch int64
+}
+
 // ObserveBatch ingests a batch of claims with up to Workers
-// goroutines. Claims are partitioned by object shard and each shard
-// applies its sub-sequence in batch order, so the result is
-// bit-identical for any worker count — the deterministic parallel
-// ingest path.
+// goroutines. Sources and values are interned on the calling
+// goroutine in batch order — so the dense ids (which the online
+// learner's minibatch shuffle keys on) depend only on the claim
+// stream, never on goroutine scheduling — then claims are partitioned
+// by object shard and each shard applies its sub-sequence in batch
+// order. The result is bit-identical for any worker count: the
+// deterministic parallel ingest path.
 func (e *Engine) ObserveBatch(batch []Triple) {
 	if len(batch) == 0 {
 		return
 	}
 	perShard := make([][]int, e.nShards)
+	res := make([]resolvedClaim, len(batch))
 	for i := range batch {
-		s := int(fnvHash(batch[i].Object)) % e.nShards
+		tr := &batch[i]
+		sid, sigma, epoch := e.lookupSource(tr.Source)
+		res[i] = resolvedClaim{sid: sid, vid: e.lookupValue(tr.Value), sigma: sigma, epoch: epoch}
+		s := int(fnvHash(tr.Object)) % e.nShards
 		perShard[s] = append(perShard[s], i)
 	}
 	parallel.For(e.nShards, e.opts.Workers, func(s int) {
@@ -371,10 +448,8 @@ func (e *Engine) ObserveBatch(batch []Triple) {
 		sh := &e.shards[s]
 		sh.mu.Lock()
 		for _, i := range ixs {
-			tr := &batch[i]
-			sid, sigma, epoch := e.lookupSource(tr.Source)
-			vid := e.lookupValue(tr.Value)
-			sh.observe(e, tr.Object, sid, vid, sigma, epoch)
+			r := &res[i]
+			sh.observe(e, batch[i].Object, r.sid, r.vid, r.sigma, r.epoch)
 		}
 		sh.mu.Unlock()
 	})
@@ -656,6 +731,30 @@ func (e *Engine) refreshLocked() {
 	}
 	e.mergeAgree, e.mergeTotal, e.mergeObs = agree, total, obs
 	n := len(agree) // every id here exists: interning precedes claims
+
+	// Online mode: register newly interned sources, feed the learner
+	// this epoch's settled deltas, and take the σ-table from its
+	// feature-smoothed windowed estimates instead of the cumulative
+	// agreement ratio. Predictions are computed for every registered
+	// source (feature weights move every refresh, so even sources with
+	// no traffic this epoch get a fresh σ), before src.mu is taken so
+	// the lock order stays acyclic.
+	var acc []float64
+	if e.learner != nil {
+		names := e.sourceNames()
+		e.learnMu.Lock()
+		for sid := e.learner.NumSources(); sid < len(names); sid++ {
+			e.learner.SetFeatures(sid, e.features[names[sid]])
+		}
+		e.learner.ObserveEpoch(agree, total)
+		acc = e.accScratch[:0]
+		for s := range names {
+			acc = append(acc, e.learner.Accuracy(s))
+		}
+		e.learnMu.Unlock()
+		e.accScratch = acc
+	}
+
 	e.src.mu.Lock()
 	for s := 0; s < n; s++ {
 		if e.opts.Decay < 1 && obs[s] > 0 {
@@ -672,8 +771,16 @@ func (e *Engine) refreshLocked() {
 		if e.src.agree[s] < 0 {
 			e.src.agree[s] = 0
 		}
-		e.src.acc[s] = smoothedAccuracy(e.opts.Options, e.src.agree[s], e.src.total[s])
-		e.src.sigma[s] = mathx.Logit(e.src.acc[s])
+		if acc == nil {
+			e.src.acc[s] = smoothedAccuracy(e.opts.Options, e.src.agree[s], e.src.total[s])
+			e.src.sigma[s] = mathx.Logit(e.src.acc[s])
+		}
+	}
+	// acc covers the name-table snapshot; sources interned after it by
+	// a concurrent Observe keep their prior σ until the next refresh.
+	for s := 0; s < len(acc) && s < len(e.src.acc); s++ {
+		e.src.acc[s] = acc[s]
+		e.src.sigma[s] = mathx.Logit(acc[s])
 	}
 	e.src.epoch++
 	e.src.mu.Unlock()
@@ -748,18 +855,63 @@ func (e *Engine) Refine(sweeps int) {
 		if n == 0 {
 			return
 		}
+		// Online mode mirrors core.Calibrate's structure sweep by
+		// sweep: pool the exact per-source agreement mass (in shard
+		// order — deterministic), refit the feature weights on it
+		// (FitMass, the feature-pooling SGD pass), then re-anchor each
+		// source's accuracy with the closed-form empirical-Bayes step
+		// below. Registration runs inside the sweep because a
+		// concurrent Observe may intern sources mid-sweep.
+		var fullAgree, fullTotal []float64
+		if e.learner != nil {
+			fullAgree = make([]float64, n)
+			fullTotal = make([]float64, n)
+			for s := 0; s < n; s++ {
+				for _, m := range parts {
+					if s < len(m.agree) {
+						fullAgree[s] += m.agree[s]
+						fullTotal[s] += m.total[s]
+					}
+				}
+			}
+			names := e.sourceNames()
+			e.learnMu.Lock()
+			for sid := e.learner.NumSources(); sid < len(names); sid++ {
+				e.learner.SetFeatures(sid, e.features[names[sid]])
+			}
+			e.learner.FitMass(fullAgree, fullTotal)
+			e.learnMu.Unlock()
+		}
 		e.src.mu.Lock()
-		for s := 0; s < n; s++ {
+		// In online mode every registered source gets a fresh estimate
+		// (zero-mass sources fall back to their feature prior).
+		// Reading the learner without learnMu is safe here: mutation
+		// only happens under refreshMu, which Refine holds.
+		hi := n
+		if e.learner != nil && len(e.src.acc) > hi {
+			hi = len(e.src.acc)
+		}
+		for s := 0; s < hi; s++ {
 			var a, t float64
-			for _, m := range parts { // shard order: deterministic
-				if s < len(m.agree) {
-					a += m.agree[s]
-					t += m.total[s]
+			if fullAgree != nil {
+				if s < n {
+					a, t = fullAgree[s], fullTotal[s]
+				}
+			} else {
+				for _, m := range parts { // shard order: deterministic
+					if s < len(m.agree) {
+						a += m.agree[s]
+						t += m.total[s]
+					}
 				}
 			}
 			e.src.agree[s] = a
 			e.src.total[s] = t
-			e.src.acc[s] = smoothedAccuracy(e.opts.Options, a, t)
+			if e.learner != nil && s < e.learner.NumSources() {
+				e.src.acc[s] = e.learner.Blend(s, a, t)
+			} else {
+				e.src.acc[s] = smoothedAccuracy(e.opts.Options, a, t)
+			}
 			e.src.sigma[s] = mathx.Logit(e.src.acc[s])
 		}
 		e.src.epoch++
@@ -854,6 +1006,55 @@ func (e *Engine) SourceAccuracy(source string) float64 {
 	return e.opts.InitAccuracy
 }
 
+// OnlineLearning reports whether the discriminative reliability
+// learner is active.
+func (e *Engine) OnlineLearning() bool { return e.learner != nil }
+
+// SourceAccuracyDetail decomposes a known source's estimate in online
+// mode: acc is the served accuracy (the σ-table entry), learned is the
+// pure feature-model prediction, and empirical is the prior-smoothed
+// cumulative agreement ratio (what a featureless engine would serve).
+// ok is false for unknown sources or when online learning is off.
+// Safe to call during ingest.
+func (e *Engine) SourceAccuracyDetail(source string) (acc, learned, empirical float64, ok bool) {
+	if e.learner == nil {
+		return 0, 0, 0, false
+	}
+	e.src.mu.RLock()
+	id, known := e.src.ids[source]
+	if known {
+		acc = e.src.acc[id]
+		empirical = smoothedAccuracy(e.opts.Options, e.src.agree[id], e.src.total[id])
+	}
+	e.src.mu.RUnlock()
+	if !known {
+		return 0, 0, 0, false
+	}
+	e.learnMu.RLock()
+	if id < e.learner.NumSources() {
+		learned = e.learner.Predict(id)
+	} else {
+		// Interned but not yet registered (no refresh since): predict
+		// from its configured labels alone.
+		learned = e.learner.PredictLabels(e.features[source])
+	}
+	e.learnMu.RUnlock()
+	return acc, learned, empirical, true
+}
+
+// PredictAccuracy estimates the accuracy of a source never seen on the
+// stream from feature labels alone — the serving analog of
+// core.Model.PredictAccuracy (Section 5.3.2). Returns the prior when
+// online learning is off. Safe to call during ingest.
+func (e *Engine) PredictAccuracy(labels []string) float64 {
+	if e.learner == nil {
+		return e.opts.InitAccuracy
+	}
+	e.learnMu.RLock()
+	defer e.learnMu.RUnlock()
+	return e.learner.PredictLabels(labels)
+}
+
 // Sources returns the known source names in sorted order. Safe to
 // call during ingest.
 func (e *Engine) Sources() []string {
@@ -870,29 +1071,34 @@ type Estimate struct {
 	Confidence float64
 }
 
+// shardEstimates snapshots one shard's live estimates under its read
+// lock, sorted by object name.
+func (e *Engine) shardEstimates(s int) []Estimate {
+	sh := &e.shards[s]
+	sh.mu.RLock()
+	valNames := e.valueNames()
+	out := make([]Estimate, 0, sh.nLive)
+	for ix := range sh.objs {
+		obj := &sh.objs[ix]
+		if !obj.live {
+			continue
+		}
+		if v, conf, ok := mapValue(obj, valNames); ok {
+			out = append(out, Estimate{obj.name, v, conf})
+		}
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out
+}
+
 // EstimateAll returns every live object's MAP estimate with its
 // confidence, sorted by object name — one locked pass per shard, so
-// callers that need both value and confidence (e.g. the CLI's final
-// CSV) never re-derive MAPs object by object. Safe to call during
-// ingest.
+// callers that need both value and confidence never re-derive MAPs
+// object by object. Safe to call during ingest. For huge object
+// counts prefer EstimatesSeq, which never materializes the full set.
 func (e *Engine) EstimateAll() []Estimate {
-	parts := parallel.Map(e.nShards, e.opts.Workers, func(s int) []Estimate {
-		sh := &e.shards[s]
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		valNames := e.valueNames()
-		out := make([]Estimate, 0, sh.nLive)
-		for ix := range sh.objs {
-			obj := &sh.objs[ix]
-			if !obj.live {
-				continue
-			}
-			if v, conf, ok := mapValue(obj, valNames); ok {
-				out = append(out, Estimate{obj.name, v, conf})
-			}
-		}
-		return out
-	})
+	parts := parallel.Map(e.nShards, e.opts.Workers, e.shardEstimates)
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -905,12 +1111,38 @@ func (e *Engine) EstimateAll() []Estimate {
 	return all
 }
 
+// EstimatesSeq yields every live object's estimate while holding at
+// most one shard's snapshot in memory — the streaming emitter behind
+// /estimates and the CLI CSV, sized for object counts where one
+// all-objects map or slice would not fit. Order is shard-major with
+// names sorted within each shard: deterministic for a fixed shard
+// count (and so byte-stable across runs and worker counts), but not
+// globally sorted the way EstimateAll is. Safe to call during ingest;
+// no locks are held while the consumer runs.
+func (e *Engine) EstimatesSeq() iter.Seq[Estimate] {
+	return func(yield func(Estimate) bool) {
+		for s := 0; s < e.nShards; s++ {
+			for _, est := range e.shardEstimates(s) {
+				if !yield(est) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Estimates returns the MAP value of every live object. Safe to call
 // during ingest (each shard is snapshotted under its read lock).
 func (e *Engine) Estimates() map[string]string {
-	all := e.EstimateAll()
-	est := make(map[string]string, len(all))
-	for _, x := range all {
+	live := 0
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.mu.RLock()
+		live += sh.nLive
+		sh.mu.RUnlock()
+	}
+	est := make(map[string]string, live)
+	for x := range e.EstimatesSeq() {
 		est[x.Object] = x.Value
 	}
 	return est

@@ -206,26 +206,41 @@ type Reader struct {
 // returning; a stream of the wrong kind fails here with ErrMagic or
 // ErrVersion, never half-parsed.
 func NewReader(r io.Reader, magic string, version uint32) (*Reader, error) {
+	rd, _, err := NewReaderVersions(r, magic, version)
+	return rd, err
+}
+
+// NewReaderVersions is NewReader for formats that stay readable across
+// revisions: the stream's version must match one of accept, and the
+// matched version is returned so the caller can branch its decode
+// layout on it. Anything else fails with ErrVersion (listing the
+// accepted set) before any payload is parsed.
+func NewReaderVersions(r io.Reader, magic string, accept ...uint32) (*Reader, uint32, error) {
 	if len(magic) != 4 {
-		return nil, fmt.Errorf("wire: magic must be 4 bytes, got %d", len(magic))
+		return nil, 0, fmt.Errorf("wire: magic must be 4 bytes, got %d", len(magic))
+	}
+	if len(accept) == 0 {
+		return nil, 0, errors.New("wire: no accepted versions")
 	}
 	rd := &Reader{r: r, crc: crc32.New(castagnoli)}
 	var got [4]byte
 	rd.read(got[:])
 	if rd.err != nil {
-		return nil, rd.err
+		return nil, 0, rd.err
 	}
 	if string(got[:]) != magic {
-		return nil, fmt.Errorf("%w: got %q, want %q", ErrMagic, got[:], magic)
+		return nil, 0, fmt.Errorf("%w: got %q, want %q", ErrMagic, got[:], magic)
 	}
 	v := rd.Uint32()
 	if rd.err != nil {
-		return nil, rd.err
+		return nil, 0, rd.err
 	}
-	if v != version {
-		return nil, fmt.Errorf("%w: stream is v%d, this build reads v%d", ErrVersion, v, version)
+	for _, a := range accept {
+		if v == a {
+			return rd, v, nil
+		}
 	}
-	return rd, nil
+	return nil, 0, fmt.Errorf("%w: stream is v%d, this build reads %v", ErrVersion, v, accept)
 }
 
 func (r *Reader) read(p []byte) {

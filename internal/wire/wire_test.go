@@ -264,3 +264,29 @@ func TestWriterStickyError(t *testing.T) {
 		t.Errorf("Close = %v, want disk full", err)
 	}
 }
+
+// TestNewReaderVersions covers multi-version format negotiation: the
+// matched version is reported, unlisted versions fail with ErrVersion,
+// and an empty accept set is a caller bug.
+func TestNewReaderVersions(t *testing.T) {
+	b := writeSample(t)
+	r, v, err := NewReaderVersions(bytes.NewReader(b), testMagic, 1, testVersion, 9)
+	if err != nil || v != testVersion {
+		t.Fatalf("negotiation failed: v=%d err=%v", v, err)
+	}
+	if got := r.Uint8(); got != 7 {
+		t.Errorf("payload after negotiation: Uint8 = %d", got)
+	}
+	if _, _, err := NewReaderVersions(bytes.NewReader(b), testMagic, 1, 2); !errors.Is(err, ErrVersion) {
+		t.Errorf("unlisted version: err = %v, want ErrVersion", err)
+	}
+	if _, _, err := NewReaderVersions(bytes.NewReader(b), testMagic); err == nil {
+		t.Error("empty accept set should error")
+	}
+	if _, _, err := NewReaderVersions(bytes.NewReader(b), "WRNG", testVersion); !errors.Is(err, ErrMagic) {
+		t.Errorf("wrong magic: err = %v, want ErrMagic", err)
+	}
+	if _, _, err := NewReaderVersions(strings.NewReader("TS"), testMagic, testVersion); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short stream: err = %v, want ErrTruncated", err)
+	}
+}

@@ -5,12 +5,12 @@
 # trajectory across PRs. Compare two snapshots with scripts/benchdiff.
 set -eu
 
-OUT="${1:-BENCH_3.json}"
+OUT="${1:-BENCH_4.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench '^(BenchmarkCoreEMFit|BenchmarkCoreERMFit|BenchmarkCoreExactInference|BenchmarkOptimizerDecide|BenchmarkFacadeSolve|BenchmarkStreamIngest)$' \
+	-bench '^(BenchmarkCoreEMFit|BenchmarkCoreERMFit|BenchmarkCoreExactInference|BenchmarkOptimizerDecide|BenchmarkFacadeSolve|BenchmarkStreamIngest|BenchmarkOnlineIngest)$' \
 	-benchmem \
 	. | tee "$TMP"
 

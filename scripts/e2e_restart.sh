@@ -6,6 +6,10 @@
 # be identical to a single uninterrupted run. This is the property
 # that makes the serving mode operable: a crash-restart cycle is
 # invisible to clients.
+#
+# The suite runs twice: once agreement-only, once in -features mode,
+# so the v2 checkpoint (learner weights, window ring, step counters)
+# is covered by the same hard-kill proof as the shard state.
 set -eu
 
 WORK="$(mktemp -d)"
@@ -22,7 +26,8 @@ go build -o "$WORK/slimfast" ./cmd/slimfast
 echo "== fixture"
 # A deterministic claim stream: 8 sources of varying reliability
 # reporting on 120 objects; source s7 is a contrarian. Split into two
-# halves so the restart lands mid-stream.
+# halves so the restart lands mid-stream. Each source carries a
+# pipeline feature (sources 0-3 vs 4-7) for the -features pass.
 awk 'BEGIN {
 	print "source,object,value" > "'"$WORK"'/part1.csv"
 	print "source,object,value" > "'"$WORK"'/part2.csv"
@@ -34,6 +39,9 @@ awk 'BEGIN {
 			printf "s%d,o%03d,%s\n", s, o, v >> out
 		}
 	}
+	print "source,feature" > "'"$WORK"'/features.csv"
+	for (s = 0; s < 8; s++)
+		printf "s%d,pipe=%s\n", s, (s < 4 ? "a" : "b") >> "'"$WORK"'/features.csv"
 }'
 
 # start_server LOGFILE [extra flags...] — boots the server on an
@@ -60,55 +68,74 @@ post_csv() { # addr file
 	curl -fsS -X POST -H 'Content-Type: text/csv' --data-binary @"$2" "http://$1/observe" > /dev/null
 }
 
-echo "== uninterrupted run"
-start_server "$WORK/uninterrupted.log"
-curl -fsS "http://$ADDR/healthz" > /dev/null
-post_csv "$ADDR" "$WORK/part1.csv"
-post_csv "$ADDR" "$WORK/part2.csv"
-curl -fsS "http://$ADDR/estimates" > "$WORK/estimates.uninterrupted.csv"
-curl -fsS "http://$ADDR/sources" > "$WORK/sources.uninterrupted.csv"
-kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
-SRV_PID=""
+# restart_suite LABEL [extra server flags...] — the full proof for one
+# server configuration.
+restart_suite() {
+	MODE="$1"; shift
 
-echo "== interrupted run: ingest half, checkpoint, kill"
-CKPT="$WORK/engine.ckpt"
-start_server "$WORK/run1.log" -checkpoint "$CKPT"
-post_csv "$ADDR" "$WORK/part1.csv"
-curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
-kill -9 "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true # hard kill: the checkpoint must carry everything
-SRV_PID=""
-[ -s "$CKPT" ] || { echo "checkpoint file missing" >&2; exit 1; }
+	echo "== [$MODE] uninterrupted run"
+	start_server "$WORK/$MODE.uninterrupted.log" "$@"
+	curl -fsS "http://$ADDR/healthz" > /dev/null
+	post_csv "$ADDR" "$WORK/part1.csv"
+	post_csv "$ADDR" "$WORK/part2.csv"
+	curl -fsS -X POST "http://$ADDR/refine?sweeps=2" > /dev/null
+	curl -fsS "http://$ADDR/estimates" > "$WORK/$MODE.estimates.uninterrupted.csv"
+	curl -fsS "http://$ADDR/sources" > "$WORK/$MODE.sources.uninterrupted.csv"
+	kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
+	SRV_PID=""
 
-echo "== restart from checkpoint, finish ingest"
-start_server "$WORK/run2.log" -restore "$CKPT" -checkpoint "$CKPT"
-grep -q '^# restored ' "$WORK/run2.log" || { echo "server did not restore:" >&2; cat "$WORK/run2.log" >&2; exit 1; }
-post_csv "$ADDR" "$WORK/part2.csv"
-curl -fsS "http://$ADDR/estimates" > "$WORK/estimates.restored.csv"
-curl -fsS "http://$ADDR/sources" > "$WORK/sources.restored.csv"
+	echo "== [$MODE] interrupted run: ingest half, checkpoint, kill"
+	CKPT="$WORK/$MODE.engine.ckpt"
+	start_server "$WORK/$MODE.run1.log" -checkpoint "$CKPT" "$@"
+	post_csv "$ADDR" "$WORK/part1.csv"
+	curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
+	kill -9 "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true # hard kill: the checkpoint must carry everything
+	SRV_PID=""
+	[ -s "$CKPT" ] || { echo "[$MODE] checkpoint file missing" >&2; exit 1; }
 
-echo "== SIGTERM writes a shutdown checkpoint"
-kill -TERM "$SRV_PID"
-for _ in $(seq 1 100); do
-	grep -q '^# shutdown checkpoint written to ' "$WORK/run2.log" && break
-	sleep 0.1
-done
-wait "$SRV_PID" 2>/dev/null || true
-SRV_PID=""
-grep -q '^# shutdown checkpoint written to ' "$WORK/run2.log" || {
-	echo "no shutdown checkpoint after SIGTERM:" >&2
-	cat "$WORK/run2.log" >&2
-	exit 1
+	echo "== [$MODE] restart from checkpoint, finish ingest"
+	start_server "$WORK/$MODE.run2.log" -restore "$CKPT" -checkpoint "$CKPT" "$@"
+	grep -q '^# restored ' "$WORK/$MODE.run2.log" || { echo "[$MODE] server did not restore:" >&2; cat "$WORK/$MODE.run2.log" >&2; exit 1; }
+	post_csv "$ADDR" "$WORK/part2.csv"
+	curl -fsS -X POST "http://$ADDR/refine?sweeps=2" > /dev/null
+	curl -fsS "http://$ADDR/estimates" > "$WORK/$MODE.estimates.restored.csv"
+	curl -fsS "http://$ADDR/sources" > "$WORK/$MODE.sources.restored.csv"
+
+	echo "== [$MODE] SIGTERM writes a shutdown checkpoint"
+	kill -TERM "$SRV_PID"
+	for _ in $(seq 1 100); do
+		grep -q '^# shutdown checkpoint written to ' "$WORK/$MODE.run2.log" && break
+		sleep 0.1
+	done
+	wait "$SRV_PID" 2>/dev/null || true
+	SRV_PID=""
+	grep -q '^# shutdown checkpoint written to ' "$WORK/$MODE.run2.log" || {
+		echo "[$MODE] no shutdown checkpoint after SIGTERM:" >&2
+		cat "$WORK/$MODE.run2.log" >&2
+		exit 1
+	}
+
+	echo "== [$MODE] compare"
+	diff "$WORK/$MODE.estimates.uninterrupted.csv" "$WORK/$MODE.estimates.restored.csv" || {
+		echo "FAIL [$MODE]: /estimates diverged after restart" >&2
+		exit 1
+	}
+	diff "$WORK/$MODE.sources.uninterrupted.csv" "$WORK/$MODE.sources.restored.csv" || {
+		echo "FAIL [$MODE]: /sources diverged after restart" >&2
+		exit 1
+	}
+	lines="$(wc -l < "$WORK/$MODE.estimates.restored.csv")"
+	[ "$lines" -gt 100 ] || { echo "FAIL [$MODE]: suspiciously small estimate set ($lines lines)" >&2; exit 1; }
+	echo "PASS [$MODE]: restart is byte-invisible ($lines estimate lines identical)"
 }
 
-echo "== compare"
-diff "$WORK/estimates.uninterrupted.csv" "$WORK/estimates.restored.csv" || {
-	echo "FAIL: /estimates diverged after restart" >&2
+restart_suite plain
+restart_suite features -features "$WORK/features.csv"
+
+# The online run must actually have engaged the learner: its /sources
+# carries the accuracy decomposition columns.
+head -n1 "$WORK/features.sources.restored.csv" | grep -q '^source,accuracy,learned,empirical' || {
+	echo "FAIL: -features run did not report the learned/empirical decomposition" >&2
 	exit 1
 }
-diff "$WORK/sources.uninterrupted.csv" "$WORK/sources.restored.csv" || {
-	echo "FAIL: /sources diverged after restart" >&2
-	exit 1
-}
-lines="$(wc -l < "$WORK/estimates.restored.csv")"
-[ "$lines" -gt 100 ] || { echo "FAIL: suspiciously small estimate set ($lines lines)" >&2; exit 1; }
-echo "PASS: restart is byte-invisible ($lines estimate lines identical)"
+echo "PASS: both modes restart byte-invisibly"
