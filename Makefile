@@ -18,15 +18,21 @@ test: build vet
 test-full:
 	$(GO) test -race ./...
 
-## bench: run the core micro-benchmarks (with -benchmem) and snapshot
-## them to BENCH_4.json (the perf trajectory; bump the number per PR)
+## bench: run the micro-benchmarks plus the HTTP serving benchmark
+## (with -benchmem) and snapshot them to the untracked
+## bench_local.json. Recording a new committed trajectory point is an
+## explicit `./scripts/bench.sh BENCH_N.json` so a routine `make
+## bench` can never overwrite a baseline in place.
 bench:
-	./scripts/bench.sh BENCH_4.json
+	./scripts/bench.sh bench_local.json
 
-## benchdiff: fail if BENCH_4.json regresses >10% vs BENCH_3.json in
-## ns/op or allocs/op (see scripts/benchdiff for arbitrary snapshots)
+## benchdiff: fail if BENCH_5.json regresses >10% vs BENCH_4.json in
+## allocs/op, printing the ns/op drift alongside (see scripts/benchdiff
+## for arbitrary snapshots). Allocation counts are deterministic;
+## wall-clock on a shared dev box is not, so only allocs gate here —
+## the same policy the CI bench job applies.
 benchdiff:
-	./scripts/benchdiff BENCH_3.json BENCH_4.json
+	./scripts/benchdiff BENCH_4.json BENCH_5.json 10 allocs
 
 ## lint: formatting + static analysis, the fast-fail CI gate
 lint:

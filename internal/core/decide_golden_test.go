@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"slimfast/internal/data"
+	"slimfast/internal/randx"
+)
+
+// goldenDecideFingerprint was recorded from the map-backed
+// EstimateAverageAccuracy (PR 2 state). The dense pair-matrix layout
+// must reproduce every field of the Decision bit for bit under the
+// default overlap-weighted estimator, whose integer-valued sums are
+// exactly order-independent — so the fingerprint is stable across both
+// the map iteration order of the old code and the triangular sweep of
+// the new one.
+const goldenDecideFingerprint uint64 = 0x3b83854de55fa935
+
+func decisionFingerprint(decs ...Decision) uint64 {
+	h := fnv.New64a()
+	var b8 [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(b8[:], u)
+		h.Write(b8[:])
+	}
+	for _, dec := range decs {
+		put(uint64(int64(dec.Algorithm)))
+		if dec.BoundFired {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(math.Float64bits(dec.ERMBound))
+		put(math.Float64bits(dec.ERMUnits))
+		put(math.Float64bits(dec.EMUnits))
+		put(math.Float64bits(dec.AvgAccuracy))
+	}
+	return h.Sum64()
+}
+
+func TestDecideGoldenFingerprint(t *testing.T) {
+	inst := goldenInstance(t)
+	var decs []Decision
+	for _, frac := range []float64{0.05, 0.3, 0.8} {
+		train, _ := data.Split(inst.Gold, frac, randx.New(5))
+		opts := DefaultOptimizerOptions()
+		decs = append(decs, Decide(inst.Dataset, train, opts))
+		opts.MultiplyByM = true
+		decs = append(decs, Decide(inst.Dataset, train, opts))
+	}
+	if got := decisionFingerprint(decs...); got != goldenDecideFingerprint {
+		t.Errorf("decision fingerprint = %#x, want %#x (Decide changed arithmetic, not just layout)", got, goldenDecideFingerprint)
+	}
+}
+
+// TestEstimateAverageAccuracyMatchesReference checks the dense
+// triangular accumulation against a straightforward per-object
+// reference for both estimator variants. The closed-form variant sums
+// non-integer ratios whose order the old map-backed code left to map
+// iteration; the dense sweep fixes pair order, so the comparison
+// allows float reassociation noise.
+func TestEstimateAverageAccuracyMatchesReference(t *testing.T) {
+	inst := goldenInstance(t)
+	ds := inst.Dataset
+	type pairStat struct {
+		agreeMinusDisagree int
+		overlap            int
+	}
+	stats := map[[2]data.SourceID]*pairStat{}
+	for o := 0; o < ds.NumObjects(); o++ {
+		obs := ds.ObjectObservations(data.ObjectID(o))
+		for i := 0; i < len(obs); i++ {
+			for j := i + 1; j < len(obs); j++ {
+				k := [2]data.SourceID{obs[i].Source, obs[j].Source}
+				st := stats[k]
+				if st == nil {
+					st = &pairStat{}
+					stats[k] = st
+				}
+				st.overlap++
+				if obs[i].Value == obs[j].Value {
+					st.agreeMinusDisagree++
+				} else {
+					st.agreeMinusDisagree--
+				}
+			}
+		}
+	}
+	for _, weighted := range []bool{true, false} {
+		var num, den float64
+		if weighted {
+			for _, st := range stats {
+				num += float64(st.agreeMinusDisagree)
+				den += float64(st.overlap)
+			}
+		} else {
+			for _, st := range stats {
+				num += 2 * float64(st.agreeMinusDisagree) / float64(st.overlap)
+			}
+			nS := ds.NumSources()
+			den = float64(nS*nS - nS)
+		}
+		muSq := num / den
+		if muSq < 0 {
+			muSq = 0
+		}
+		want := (math.Sqrt(muSq) + 1) / 2
+		if want < 0.5 {
+			want = 0.5
+		}
+		got := EstimateAverageAccuracy(ds, weighted)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("EstimateAverageAccuracy(weighted=%v) = %v, want %v", weighted, got, want)
+		}
+	}
+}

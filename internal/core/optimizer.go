@@ -72,21 +72,89 @@ type Decision struct {
 	AvgAccuracy float64 // matrix-completion estimate of mean accuracy
 }
 
+// densePairLimit bounds the |S|² agreement matrix at 4096² entries
+// (~256 MiB of int64 pair counters); rarer, wider instances take the
+// map path instead of risking the allocation.
+const densePairLimit = 4096
+
 // EstimateAverageAccuracy implements the matrix-completion estimator of
 // Section 4.3: the source-agreement matrix X has E[X_ij] = (2A−1)², so
 // µ̂ = √(ΣX_ij / (|S|²−|S|)) and A = (µ̂+1)/2. The overlap-weighted
 // variant divides by overlap mass instead of the full pair count.
+//
+// The pair statistics accumulate in a dense |S|×|S| upper-triangular
+// matrix (two flat slices) instead of a map of heap-allocated structs:
+// the map paid one allocation per co-observing pair (the bulk of
+// Decide's allocation bill) and hashed on every observation pair,
+// while the dense layout is two slice allocations total and a direct
+// index per pair. It also makes the paper's closed-form variant
+// deterministic — the map version summed non-integer ratios in map
+// iteration order. The overlap-weighted default sums integer-valued
+// floats, which are exactly associative, so its result is bit-identical
+// to the map implementation (pinned by TestDecideGoldenFingerprint).
 func EstimateAverageAccuracy(ds *data.Dataset, overlapWeighted bool) float64 {
 	nS := ds.NumSources()
 	if nS < 2 {
 		return 0.5
 	}
-	// valueOf[(s,o)] lookup via per-object scan: accumulate pairwise
-	// agreement sums object by object, which touches each co-observing
-	// pair once per shared object.
+	if nS > densePairLimit {
+		return estimateAverageAccuracySparse(ds, overlapWeighted)
+	}
+	// agree[a·|S|+b] (a < b, observations are source-sorted within an
+	// object) holds agreements minus disagreements; overlap counts the
+	// shared objects.
+	agree := make([]int64, nS*nS)
+	overlap := make([]int64, nS*nS)
+	for o := 0; o < ds.NumObjects(); o++ {
+		obs := ds.ObjectObservations(data.ObjectID(o))
+		for i := 0; i < len(obs); i++ {
+			row := int(obs[i].Source) * nS
+			vi := obs[i].Value
+			for j := i + 1; j < len(obs); j++ {
+				k := row + int(obs[j].Source)
+				overlap[k]++
+				if vi == obs[j].Value {
+					agree[k]++
+				} else {
+					agree[k]--
+				}
+			}
+		}
+	}
+	var num, den float64
+	if overlapWeighted {
+		for k, ov := range overlap {
+			if ov != 0 {
+				num += float64(agree[k])
+				den += float64(ov)
+			}
+		}
+		if den == 0 {
+			return 0.5
+		}
+	} else {
+		// Paper's closed form: X_ij is the mean agreement of pair
+		// (i,j); the denominator counts all ordered pairs, with
+		// non-overlapping pairs contributing X_ij = 0. Each unordered
+		// pair appears twice in Σ_{i,j}, matching |S|²−|S| ordered
+		// pairs.
+		for k, ov := range overlap {
+			if ov != 0 {
+				num += 2 * float64(agree[k]) / float64(ov)
+			}
+		}
+		den = float64(nS*nS - nS)
+	}
+	return finishAverageAccuracy(num, den)
+}
+
+// estimateAverageAccuracySparse is the map fallback for instances too
+// wide for the dense pair matrix. Same arithmetic; per-pair map
+// entries instead of the flat slabs.
+func estimateAverageAccuracySparse(ds *data.Dataset, overlapWeighted bool) float64 {
 	type pairStat struct {
-		agreeMinusDisagree int
-		overlap            int
+		agreeMinusDisagree int64
+		overlap            int64
 	}
 	stats := map[[2]data.SourceID]*pairStat{}
 	for o := 0; o < ds.NumObjects(); o++ {
@@ -118,16 +186,18 @@ func EstimateAverageAccuracy(ds *data.Dataset, overlapWeighted bool) float64 {
 			return 0.5
 		}
 	} else {
-		// Paper's closed form: X_ij is the mean agreement of pair
-		// (i,j); the denominator counts all ordered pairs, with
-		// non-overlapping pairs contributing X_ij = 0. Each unordered
-		// pair appears twice in Σ_{i,j}, matching |S|²−|S| ordered
-		// pairs.
 		for _, st := range stats {
 			num += 2 * float64(st.agreeMinusDisagree) / float64(st.overlap)
 		}
+		nS := ds.NumSources()
 		den = float64(nS*nS - nS)
 	}
+	return finishAverageAccuracy(num, den)
+}
+
+// finishAverageAccuracy maps the accumulated agreement mass to the
+// average-accuracy estimate A = (µ̂+1)/2.
+func finishAverageAccuracy(num, den float64) float64 {
 	muSq := num / den
 	if muSq < 0 {
 		muSq = 0

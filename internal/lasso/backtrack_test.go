@@ -1,0 +1,54 @@
+package lasso
+
+import (
+	"math"
+	"testing"
+
+	"slimfast/internal/optim"
+)
+
+// pathologicalSmooth is the twin of optim.PathologicalSmooth (test
+// files cannot be imported across packages): NaN loss outside a
+// microscopic basin, finite enormous gradients. See
+// TestProximalGradientBacktrackCapped in internal/optim.
+func pathologicalSmooth(calls *int) optim.BatchGradFunc {
+	return func(w []float64, grad []float64) float64 {
+		*calls++
+		loss := 0.0
+		for j := range w {
+			grad[j] = 2e30 * w[j]
+			loss += 1e30 * w[j] * w[j]
+		}
+		if loss > 1e3 {
+			return math.NaN()
+		}
+		return loss
+	}
+}
+
+// TestProxL1BacktrackCapped is the regression test for the uncapped
+// backtracking loop: proxL1ExceptFirst's inner loop used to terminate
+// only on lr < 1e-12, so a NaN/Inf trial loss (which fails every
+// quadratic-bound comparison) burned ~40 halvings on every outer
+// iteration and the step size never recovered. The solver now carries
+// optim.ProximalGradient's try >= 40 cap: it must run to maxIter with
+// a bounded number of smooth evaluations.
+func TestProxL1BacktrackCapped(t *testing.T) {
+	const maxIter = 5
+	var calls int
+	w := []float64{1e-14, 1e-14}
+	res, err := proxL1ExceptFirst(w, pathologicalSmooth(&calls), 1e-3, maxIter, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs < 1 || res.Epochs > maxIter {
+		t.Errorf("proxL1ExceptFirst ran %d iters, want within [1, %d]", res.Epochs, maxIter)
+	}
+	// At most 41 trial evaluations per outer iteration (initial try +
+	// 40 halvings) plus the one gradient evaluation at the start. An
+	// uncapped loop keyed on lr alone either hangs or burns an
+	// lr-dependent number of halvings here.
+	if limit := res.Epochs*41 + 1; calls > limit {
+		t.Errorf("proxL1ExceptFirst evaluated smooth %d times over %d iters, want <= %d (backtracking not capped)", calls, res.Epochs, limit)
+	}
+}

@@ -1,0 +1,48 @@
+package lasso
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// goldenPathFingerprint was recorded from the pre-dense-layout solver
+// (PR 5 state plus the backtracking try-cap). The scratch-buffer and
+// gradient-reuse rewrite of proxL1ExceptFirst must reproduce the whole
+// path — every lambda, intercept and weight — bit for bit: any drift
+// means the optimization changed arithmetic, not just allocation.
+const goldenPathFingerprint uint64 = 0x88c3f67c1ce04de
+
+// pathFingerprint hashes the exact bit patterns of the path's grid,
+// intercepts and weight matrix in grid order.
+func pathFingerprint(p *Path) uint64 {
+	h := fnv.New64a()
+	var b8 [8]byte
+	put := func(x float64) {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(x))
+		h.Write(b8[:])
+	}
+	for i := range p.Lambdas {
+		put(p.Lambdas[i])
+		put(p.Intercepts[i])
+		for _, w := range p.Weights[i] {
+			put(w)
+		}
+	}
+	return h.Sum64()
+}
+
+func TestPathGoldenFingerprint(t *testing.T) {
+	inst := lassoInstance(t)
+	opts := DefaultOptions()
+	opts.Steps = 8
+	opts.MaxIter = 100
+	p, err := Compute(inst.Dataset, inst.Gold, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pathFingerprint(p); got != goldenPathFingerprint {
+		t.Errorf("lasso path fingerprint = %#x, want %#x (the solver changed arithmetic, not just layout)", got, goldenPathFingerprint)
+	}
+}

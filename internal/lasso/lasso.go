@@ -184,40 +184,51 @@ func Compute(ds *data.Dataset, train data.TruthMap, opts Options) (*Path, error)
 }
 
 // proxL1ExceptFirst is ISTA with the soft-threshold applied to every
-// coordinate except index 0 (the intercept).
+// coordinate except index 0 (the intercept). Like
+// optim.ProximalGradient it keeps two swapped gradient buffers — the
+// accepted trial's gradient becomes the next iteration's gradient, so
+// the inner loop neither allocates nor re-evaluates smooth at the
+// accepted point — and it caps backtracking at 40 halvings per outer
+// iteration: the old loop terminated only on lr < 1e-12, so a NaN/Inf
+// trial loss (which fails every quadratic-bound comparison) burned ~40
+// halvings on every outer iteration and the step size never recovered
+// through the 1.1× growth.
 func proxL1ExceptFirst(w []float64, smooth optim.BatchGradFunc, l1 float64, maxIter int, tol float64) (optim.Result, error) {
 	if maxIter <= 0 {
 		return optim.Result{}, errors.New("lasso: maxIter must be positive")
 	}
 	grad := make([]float64, len(w))
 	next := make([]float64, len(w))
+	gNext := make([]float64, len(w))
 	lr := 1.0
 	var res optim.Result
+	loss := smooth(w, grad)
 	for iter := 0; iter < maxIter; iter++ {
-		for j := range grad {
-			grad[j] = 0
-		}
-		loss := smooth(w, grad)
-		for {
+		var lossNext float64
+		for try := 0; ; try++ {
 			next[0] = w[0] - lr*grad[0]
 			for j := 1; j < len(w); j++ {
 				next[j] = mathx.SoftThreshold(w[j]-lr*grad[j], lr*l1)
 			}
-			g2 := make([]float64, len(w))
-			lossNext := smooth(next, g2)
+			for j := range gNext {
+				gNext[j] = 0
+			}
+			lossNext = smooth(next, gNext)
 			var lin, quad float64
 			for j := range w {
 				d := next[j] - w[j]
 				lin += grad[j] * d
 				quad += d * d
 			}
-			if lossNext <= loss+lin+quad/(2*lr)+1e-12 || lr < 1e-12 {
+			if lossNext <= loss+lin+quad/(2*lr)+1e-12 || try >= 40 {
 				break
 			}
 			lr /= 2
 		}
 		delta := mathx.MaxAbsDiff(next, w)
 		copy(w, next)
+		grad, gNext = gNext, grad
+		loss = lossNext
 		res.Epochs = iter + 1
 		res.LastDelta = delta
 		if delta < tol {

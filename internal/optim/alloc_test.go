@@ -1,0 +1,156 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+// The allocation-regression tier for the optimizers: the dense
+// stamp/touch-list Sparse accumulator exists so the per-step gradient
+// loops allocate nothing, and the proximal-gradient solvers hoist
+// their trial-gradient buffers out of the backtracking loop. A
+// regression here means a map, a per-try make, or a growing slice
+// crept back into a hot loop.
+
+func TestSparseZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	s := NewSparseSized(64)
+	out := make([]float64, 64)
+	cycle := func() {
+		for rep := 0; rep < 3; rep++ {
+			s.Reset()
+			for j := 0; j < 64; j += 3 {
+				s.Add(j, float64(j))
+				s.Add(j, 1) // second touch takes the accumulate branch
+			}
+			for i := 0; i < s.Len(); i++ {
+				k, v := s.At(i)
+				out[k] = v
+			}
+			s.Dense(out)
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Errorf("Sparse Reset/Add/At/Dense cycle allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestSparseGrowsOnDemand(t *testing.T) {
+	// The unsized constructor still works: coordinates beyond the
+	// current capacity grow the slabs and stay correct.
+	s := NewSparse()
+	s.Add(5, 1.5)
+	s.Add(2, 1)
+	s.Add(5, 0.5)
+	s.Reset()
+	s.Add(1000, 3)
+	s.Add(5, 7) // stale stamp from before Reset must not leak
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if j, v := s.At(0); j != 1000 || v != 3 {
+		t.Errorf("At(0) = (%d, %v), want (1000, 3)", j, v)
+	}
+	if j, v := s.At(1); j != 5 || v != 7 {
+		t.Errorf("At(1) = (%d, %v), want (5, 7)", j, v)
+	}
+}
+
+// minimizeAllocs measures the total allocations of one Minimize call
+// with the given epoch count over a fixed 200-example problem.
+func minimizeAllocs(t *testing.T, cfg Config, epochs int) float64 {
+	t.Helper()
+	const n, dim = 200, 30
+	cfg.Epochs = epochs
+	cfg.Tolerance = 0 // never early-stop: every epoch must run
+	grad := func(i int, w []float64, g *Sparse) {
+		j := i % dim
+		g.Add(j, w[j]-float64(i%7))
+		g.Add((j+11)%dim, 0.25*w[(j+11)%dim])
+	}
+	w := make([]float64, dim)
+	return testing.AllocsPerRun(10, func() {
+		if _, err := Minimize(n, w, grad, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMinimizeSteadyStateZeroAlloc pins the dense accumulator's
+// contract on both Minimize paths: all allocation happens in per-call
+// setup (the accumulators, the shuffle order, the worker pool), so the
+// allocation count is flat in the number of epochs — the per-step
+// Reset/Add/At traffic through the accumulator allocates nothing.
+func TestMinimizeSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"serial", Config{Method: SGD, LearningRate: 0.1, Seed: 1}},
+		{"serial-adagrad-l1", Config{Method: AdaGrad, LearningRate: 0.1, L1: 1e-3, Seed: 1}},
+		{"minibatch", Config{Method: SGD, LearningRate: 0.1, Seed: 1, Batch: 16, Workers: 1}},
+		{"minibatch-workers4", Config{Method: SGD, LearningRate: 0.1, Seed: 1, Batch: 16, Workers: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			short := minimizeAllocs(t, tc.cfg, 1)
+			long := minimizeAllocs(t, tc.cfg, 11)
+			if extra := long - short; extra != 0 {
+				t.Errorf("10 extra epochs allocated %.1f more times (1 epoch: %.1f, 11 epochs: %.1f), want 0 — the steady state must not allocate",
+					extra, short, long)
+			}
+		})
+	}
+}
+
+// PathologicalSmooth builds a batch-gradient function whose loss turns
+// NaN the moment any coordinate leaves a microscopic basin, while the
+// gradient stays finite and enormous. Every quadratic-bound comparison
+// against a NaN trial loss is false, so an uncapped backtracking loop
+// halves lr ~40 times on every outer iteration and the step size can
+// never recover through the 1.1× growth — the historical lasso bug.
+// The lasso package carries a twin of this function for its
+// proxL1ExceptFirst test (test files cannot be imported).
+func PathologicalSmooth(calls *int) BatchGradFunc {
+	return func(w []float64, grad []float64) float64 {
+		*calls++
+		loss := 0.0
+		for j := range w {
+			grad[j] = 2e30 * w[j]
+			loss += 1e30 * w[j] * w[j]
+		}
+		if loss > 1e3 {
+			return math.NaN()
+		}
+		return loss
+	}
+}
+
+// TestProximalGradientBacktrackCapped drives ProximalGradient into
+// PathologicalSmooth's NaN region: the solver must cap backtracking at
+// 40 halvings per outer iteration, run to maxIter, and evaluate smooth
+// a bounded number of times.
+func TestProximalGradientBacktrackCapped(t *testing.T) {
+	const maxIter = 5
+	var calls int
+	w := []float64{1e-14}
+	res, err := ProximalGradient(w, PathologicalSmooth(&calls), 0, maxIter, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs < 1 || res.Epochs > maxIter {
+		t.Errorf("ProximalGradient ran %d iters, want within [1, %d]", res.Epochs, maxIter)
+	}
+	// At most 41 trial evaluations per outer iteration (initial try +
+	// 40 halvings) plus the one gradient evaluation at the start. An
+	// uncapped loop keyed on lr alone either hangs or burns an
+	// lr-dependent number of halvings here.
+	if limit := res.Epochs*41 + 1; calls > limit {
+		t.Errorf("ProximalGradient evaluated smooth %d times over %d iters, want <= %d (backtracking not capped)", calls, res.Epochs, limit)
+	}
+}

@@ -110,47 +110,82 @@ func (c Config) Validate() error {
 // Sparse accumulates a sparse gradient: per-example losses in data
 // fusion touch only the weights of the sources and features involved in
 // one object, so updates must not pay O(len(w)).
+//
+// The layout is a dense stamp/touch-list accumulator: val is a dense
+// slab indexed by coordinate, stamp[j] records the Reset generation
+// that last touched j, and idx lists the touched coordinates in
+// first-touch order. Add and At are branch-plus-array-index — no map
+// hashing, no per-coordinate allocation — and Reset is O(1) (bump the
+// generation). The accumulator grows to the largest coordinate it has
+// seen and is reused across steps, so the steady state allocates
+// nothing; size it up front with NewSparseSized to avoid even the
+// warm-up growth.
 type Sparse struct {
-	idx []int
-	val []float64
-	pos map[int]int
+	idx   []int
+	val   []float64
+	stamp []uint64
+	gen   uint64
 }
 
-// NewSparse returns an empty accumulator.
-func NewSparse() *Sparse { return &Sparse{pos: map[int]int{}} }
+// NewSparse returns an empty accumulator that grows on first touch.
+func NewSparse() *Sparse { return &Sparse{gen: 1} }
+
+// NewSparseSized returns an accumulator pre-sized for coordinates
+// [0, n), so no hot-path growth ever happens.
+func NewSparseSized(n int) *Sparse {
+	s := NewSparse()
+	s.grow(n)
+	return s
+}
+
+// grow extends the dense slabs to cover at least n coordinates.
+func (s *Sparse) grow(n int) {
+	if n <= len(s.val) {
+		return
+	}
+	val := make([]float64, n)
+	copy(val, s.val)
+	s.val = val
+	stamp := make([]uint64, n)
+	copy(stamp, s.stamp)
+	s.stamp = stamp
+}
 
 // Reset clears the accumulator for reuse.
 func (s *Sparse) Reset() {
 	s.idx = s.idx[:0]
-	s.val = s.val[:0]
-	for k := range s.pos {
-		delete(s.pos, k)
-	}
+	s.gen++
 }
 
 // Add accumulates v into coordinate j.
 func (s *Sparse) Add(j int, v float64) {
-	if p, ok := s.pos[j]; ok {
-		s.val[p] += v
+	if j >= len(s.val) {
+		s.grow(j + 1)
+	}
+	if s.stamp[j] == s.gen {
+		s.val[j] += v
 		return
 	}
-	s.pos[j] = len(s.idx)
+	s.stamp[j] = s.gen
+	s.val[j] = v
 	s.idx = append(s.idx, j)
-	s.val = append(s.val, v)
 }
 
 // Len returns the number of touched coordinates.
 func (s *Sparse) Len() int { return len(s.idx) }
 
-// At returns the i-th touched (coordinate, value) pair in insertion
+// At returns the i-th touched (coordinate, value) pair in first-touch
 // order.
-func (s *Sparse) At(i int) (int, float64) { return s.idx[i], s.val[i] }
+func (s *Sparse) At(i int) (int, float64) {
+	j := s.idx[i]
+	return j, s.val[j]
+}
 
 // Dense writes the accumulated gradient into out (which must have
 // enough length) and returns it; used by tests.
 func (s *Sparse) Dense(out []float64) []float64 {
-	for i, j := range s.idx {
-		out[j] += s.val[i]
+	for _, j := range s.idx {
+		out[j] += s.val[j]
 	}
 	return out
 }
@@ -189,7 +224,7 @@ func Minimize(n int, w []float64, grad GradFunc, cfg Config) (Result, error) {
 		return minimizeMinibatch(n, w, grad, cfg)
 	}
 	rng := randx.New(cfg.Seed)
-	g := NewSparse()
+	g := NewSparseSized(len(w))
 	var accum []float64 // AdaGrad accumulator
 	if cfg.Method == AdaGrad {
 		accum = make([]float64, len(w))
@@ -247,9 +282,13 @@ func minimizeMinibatch(n int, w []float64, grad GradFunc, cfg Config) (Result, e
 	if batch > n {
 		batch = n
 	}
+	// The shards are this fit's per-worker scratch: allocated once,
+	// sized to the weight vector, and reused across every batch of
+	// every epoch, so the gradient fan-out allocates nothing in steady
+	// state.
 	shards := make([]*Sparse, batch)
 	for i := range shards {
-		shards[i] = NewSparse()
+		shards[i] = NewSparseSized(len(w))
 	}
 
 	// One long-lived worker pool for the whole fit: a fit makes
@@ -277,10 +316,21 @@ func minimizeMinibatch(n int, w []float64, grad GradFunc, cfg Config) (Result, e
 			}()
 		}
 	}
+	// Chunk boundaries depend only on the batch width, which takes at
+	// most two values (full batches and the tail); precompute both so
+	// the per-batch dispatch allocates nothing.
+	fullChunks := parallel.Split(batch, workers)
+	var tailChunks []parallel.Chunk
+	if rem := n % batch; rem > 0 {
+		tailChunks = parallel.Split(rem, workers)
+	}
 	gradBatch := func(lo, k int) {
 		if workers > 1 && k > 1 {
 			base = lo
-			chunks := parallel.Split(k, workers)
+			chunks := fullChunks
+			if k != batch {
+				chunks = tailChunks
+			}
 			wg.Add(len(chunks))
 			for _, ch := range chunks {
 				tasks <- ch
@@ -294,7 +344,7 @@ func minimizeMinibatch(n int, w []float64, grad GradFunc, cfg Config) (Result, e
 		}
 	}
 
-	merged := NewSparse()
+	merged := NewSparseSized(len(w))
 	var accum []float64 // AdaGrad accumulator
 	if cfg.Method == AdaGrad {
 		accum = make([]float64, len(w))
@@ -369,22 +419,31 @@ func ProximalGradient(w []float64, smooth BatchGradFunc, l1 float64, maxIter int
 	if l1 < 0 {
 		return Result{}, errors.New("optim: l1 must be non-negative")
 	}
+	// Two gradient buffers, allocated once and swapped: grad holds the
+	// gradient at w, gNext receives the trial point's gradient during
+	// backtracking. The old loop allocated a fresh gNext per
+	// backtracking try and threw the trial gradient away, recomputing
+	// it at the top of the next iteration — since smooth is a pure
+	// function, the accepted trial's gradient IS the next iteration's
+	// gradient, so the swap halves the smooth() calls and the hot loop
+	// allocates nothing.
 	grad := make([]float64, len(w))
 	next := make([]float64, len(w))
+	gNext := make([]float64, len(w))
 	lr := 1.0
 	var res Result
+	loss := smooth(w, grad)
 	for iter := 0; iter < maxIter; iter++ {
-		for j := range grad {
-			grad[j] = 0
-		}
-		loss := smooth(w, grad)
 		// Backtracking: halve lr until the quadratic upper bound holds.
+		var lossNext float64
 		for try := 0; ; try++ {
 			for j := range w {
 				next[j] = mathx.SoftThreshold(w[j]-lr*grad[j], lr*l1)
 			}
-			gNext := make([]float64, len(w))
-			lossNext := smooth(next, gNext)
+			for j := range gNext {
+				gNext[j] = 0
+			}
+			lossNext = smooth(next, gNext)
 			// Upper bound: loss + <grad, Δ> + ||Δ||²/(2lr)
 			var lin, quad float64
 			for j := range w {
@@ -399,6 +458,8 @@ func ProximalGradient(w []float64, smooth BatchGradFunc, l1 float64, maxIter int
 		}
 		delta := mathx.MaxAbsDiff(next, w)
 		copy(w, next)
+		grad, gNext = gNext, grad
+		loss = lossNext
 		res.Epochs = iter + 1
 		res.LastDelta = delta
 		if delta < tol {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package optim
+
+const raceEnabled = false

@@ -1,0 +1,57 @@
+package sourcesel
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"slimfast/internal/data"
+)
+
+// goldenSelectFingerprint was recorded from the slice-rebuilding greedy
+// loop (after the 0.5-baseline bugfix, before the incremental
+// mean/variance layout). The incremental accumulator must buy the same
+// sources in the same order and report bit-identical SpentCost and
+// ExpectedAccuracy: any drift means the rewrite changed the margin
+// arithmetic, not just the allocation pattern.
+const goldenSelectFingerprint uint64 = 0xefbde19ceb703ad7
+
+// goldenCandidates builds a deterministic 40-source shelf with varied
+// accuracy (including worse-than-random ones), coverage and cost.
+func goldenCandidates() []Candidate {
+	out := make([]Candidate, 40)
+	for i := range out {
+		out[i] = Candidate{
+			Source:   data.SourceID(i),
+			Accuracy: 0.25 + 0.7*float64(i%13)/12,
+			Coverage: 0.3 + 0.7*float64(i%7)/6,
+			Cost:     1 + float64(i%5),
+		}
+	}
+	return out
+}
+
+func TestSelectGoldenFingerprint(t *testing.T) {
+	h := fnv.New64a()
+	var b8 [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(b8[:], u)
+		h.Write(b8[:])
+	}
+	for _, budget := range []float64{1, 3, 7.5, 20, 1000} {
+		sel, err := Select(goldenCandidates(), budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		put(uint64(len(sel.Sources)))
+		for _, s := range sel.Sources {
+			put(uint64(int64(s)))
+		}
+		put(math.Float64bits(sel.SpentCost))
+		put(math.Float64bits(sel.ExpectedAccuracy))
+	}
+	if got := h.Sum64(); got != goldenSelectFingerprint {
+		t.Errorf("selection fingerprint = %#x, want %#x (the greedy arithmetic changed, not just its layout)", got, goldenSelectFingerprint)
+	}
+}

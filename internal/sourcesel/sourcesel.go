@@ -55,19 +55,36 @@ type Selection struct {
 // expectation over a binary-symmetric conflict.
 func expectedFusionAccuracy(chosen []Candidate) float64 {
 	if len(chosen) == 0 {
-		return 0
+		// No sources = a coin flip over the binary-symmetric conflict,
+		// not certainty of error. This is the baseline Select measures
+		// gains against: using 0 here made any candidate — even one
+		// definitely worse than random — look like an improvement.
+		return 0.5
 	}
 	var mean, variance float64
 	for _, c := range chosen {
-		a := mathx.Clamp(c.Accuracy, 0.02, 0.98)
-		w := math.Abs(mathx.Logit(a))
-		// Margin contribution when the source reports: +w with prob a,
-		// -w otherwise (its weight is spent on a wrong value).
-		m := c.Coverage * w * (2*a - 1)
-		v := c.Coverage * w * w * (1 - c.Coverage*(2*a-1)*(2*a-1))
+		m, v := marginContribution(c)
 		mean += m
 		variance += v
 	}
+	return marginAccuracy(mean, variance)
+}
+
+// marginContribution returns candidate c's additive contribution to the
+// mean and variance of the weighted vote margin.
+func marginContribution(c Candidate) (mean, variance float64) {
+	a := mathx.Clamp(c.Accuracy, 0.02, 0.98)
+	w := math.Abs(mathx.Logit(a))
+	// Margin contribution when the source reports: +w with prob a,
+	// -w otherwise (its weight is spent on a wrong value).
+	mean = c.Coverage * w * (2*a - 1)
+	variance = c.Coverage * w * w * (1 - c.Coverage*(2*a-1)*(2*a-1))
+	return mean, variance
+}
+
+// marginAccuracy maps an accumulated margin mean/variance to the
+// expected fusion accuracy P(margin > 0).
+func marginAccuracy(mean, variance float64) float64 {
 	if variance <= 0 {
 		if mean > 0 {
 			return 1
@@ -106,39 +123,56 @@ func Select(candidates []Candidate, budget float64) (*Selection, error) {
 	// Deterministic tie-breaking.
 	sort.Slice(remaining, func(i, j int) bool { return remaining[i].Source < remaining[j].Source })
 
-	var chosen []Candidate
+	// The chosen set's margin statistics accumulate incrementally in
+	// purchase order: evaluating a candidate is then O(1) — add its
+	// contribution to the running mean/variance — instead of
+	// rebuilding a slice and re-summing every chosen source per
+	// candidate per round (the old append-based loop was O(|chosen|)
+	// slice allocations and work for each of the O(n²) evaluations).
+	// The additions happen in exactly the order the slice-based code
+	// summed them, so the result is bit-identical (pinned by
+	// TestSelectGoldenFingerprint).
+	var chosenSources []data.SourceID
+	var meanSum, varSum float64
 	spent := 0.0
-	current := 0.0
+	// The empty selection already achieves coin-flip accuracy; a
+	// candidate must beat 0.5, not 0, to be worth buying. With the old
+	// zero baseline a single worse-than-random source (say accuracy
+	// 0.3) showed a "gain" of +0.33 and was purchased, leaving the
+	// buyer strictly worse off than guessing.
+	current := 0.5
 	for {
 		bestIdx := -1
 		bestRatio := 0.0
 		bestAcc := current
+		var bestMean, bestVar float64
 		for i, c := range remaining {
 			if spent+c.Cost > budget {
 				continue
 			}
-			acc := expectedFusionAccuracy(append(chosen, c))
+			m, v := marginContribution(c)
+			acc := marginAccuracy(meanSum+m, varSum+v)
 			gain := acc - current
 			ratio := gain / c.Cost
 			if bestIdx == -1 || ratio > bestRatio+1e-15 {
 				bestIdx = i
 				bestRatio = ratio
 				bestAcc = acc
+				bestMean = meanSum + m
+				bestVar = varSum + v
 			}
 		}
 		if bestIdx == -1 || bestRatio <= 0 {
 			break
 		}
 		c := remaining[bestIdx]
-		chosen = append(chosen, c)
+		chosenSources = append(chosenSources, c.Source)
 		spent += c.Cost
 		current = bestAcc
+		meanSum, varSum = bestMean, bestVar
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 	}
-	sel := &Selection{SpentCost: spent, ExpectedAccuracy: current}
-	for _, c := range chosen {
-		sel.Sources = append(sel.Sources, c.Source)
-	}
+	sel := &Selection{Sources: chosenSources, SpentCost: spent, ExpectedAccuracy: current}
 	sort.Slice(sel.Sources, func(i, j int) bool { return sel.Sources[i] < sel.Sources[j] })
 	return sel, nil
 }

@@ -124,6 +124,54 @@ func TestSelectSkipsWorseThanChanceWhenPossible(t *testing.T) {
 	}
 }
 
+func TestSelectNeverBuysWorseThanRandom(t *testing.T) {
+	// Regression: the greedy baseline used to be expected accuracy 0
+	// for the empty selection, so a lone worse-than-random candidate
+	// showed positive gain and was purchased, and the returned
+	// ExpectedAccuracy (~0.33) sat below the coin-flip baseline. The
+	// baseline is 0.5: a sub-0.5-accuracy source must never be bought,
+	// even when it is the only candidate and the budget allows it.
+	sel, err := Select(candidates(
+		[]float64{0.3},
+		[]float64{1},
+		[]float64{1},
+	), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Sources) != 0 {
+		t.Fatalf("bought sources %v; a 0.3-accuracy source must never be bought", sel.Sources)
+	}
+	if sel.SpentCost != 0 {
+		t.Errorf("spent %v on an empty selection", sel.SpentCost)
+	}
+	if sel.ExpectedAccuracy != 0.5 {
+		t.Errorf("empty selection ExpectedAccuracy = %v, want the 0.5 coin-flip baseline", sel.ExpectedAccuracy)
+	}
+
+	// Mixed shelf: the good sources are bought, every sub-0.5 source is
+	// left behind, and the selection's expected accuracy clears 0.5.
+	sel, err = Select(candidates(
+		[]float64{0.3, 0.8, 0.45, 0.75, 0.1},
+		[]float64{1, 0.9, 1, 0.8, 1},
+		[]float64{1, 1, 1, 1, 1},
+	), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Sources) == 0 {
+		t.Fatal("the accurate sources should be bought")
+	}
+	for _, s := range sel.Sources {
+		if s == 0 || s == 2 || s == 4 {
+			t.Errorf("bought worse-than-random source %d", s)
+		}
+	}
+	if sel.ExpectedAccuracy < 0.5 {
+		t.Errorf("non-empty selection ExpectedAccuracy = %v, want >= 0.5", sel.ExpectedAccuracy)
+	}
+}
+
 func TestEndToEndWithSLiMFastEstimates(t *testing.T) {
 	// Estimate accuracies with unsupervised EM, select half the budget,
 	// and verify fusing only the chosen sources stays close to fusing
