@@ -39,11 +39,11 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-## cover: streaming-engine + online-learner coverage with the
-## ratcheted >=80% gates CI enforces; leaves the merged cover.out for
-## `go tool cover -html=cover.out`
+## cover: streaming-engine + online-learner + resilience coverage with
+## the ratcheted >=80% gates CI enforces; leaves the merged cover.out
+## for `go tool cover -html=cover.out`
 cover:
-	./scripts/covergate cover.out ./internal/stream/ 80 ./internal/online/ 80
+	./scripts/covergate cover.out ./internal/stream/ 80 ./internal/online/ 80 ./internal/resilience/ 80
 
 ## serve: run the streaming engine as an HTTP service on :8080 with a
 ## durable checkpoint — restarting the target resumes where it left off
@@ -53,5 +53,6 @@ serve:
 
 ## e2e: the full restart-determinism proof over the network (build,
 ## serve, ingest over HTTP, checkpoint, kill -9, restore, byte-compare)
+## plus the corruption scenario (damaged newest generation falls back)
 e2e:
 	./scripts/e2e_restart.sh

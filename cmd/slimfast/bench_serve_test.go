@@ -76,7 +76,7 @@ func benchServer(b *testing.B) (*httptest.Server, *http.Client) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := httptest.NewServer(newStreamServer(eng, "", 256, io.Discard).handler())
+	srv := httptest.NewServer(newStreamServer(eng, serveConfig{Batch: 256}, io.Discard).handler())
 	b.Cleanup(srv.Close)
 	for pass := 0; pass < 2; pass++ {
 		eng.ObserveBatch(benchCorpus(64, 512, 8, pass))

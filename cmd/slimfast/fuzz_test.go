@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"slimfast/internal/stream"
+)
+
+// fuzzServer builds a tiny engine + handler per execution. The
+// handler chain includes the panic-recovery middleware, so a 500
+// response is the signature of a parser panic — exactly what the
+// fuzz targets assert never happens.
+func fuzzServer(t *testing.T) http.Handler {
+	opts := stream.DefaultEngineOptions()
+	opts.Shards = 1
+	opts.EpochLength = 16
+	eng, err := stream.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newStreamServer(eng, serveConfig{Batch: 4}, io.Discard).handler()
+}
+
+// observeFuzzBody posts one body and checks the /observe invariants:
+// the parser never panics (no 500 — the recovery middleware would
+// turn one into exactly that) and every outcome is a deliberate
+// status.
+func observeFuzzBody(t *testing.T, contentType string, body []byte) {
+	h := fuzzServer(t)
+	req := httptest.NewRequest("POST", "/observe", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", contentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	switch rec.Code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+	case http.StatusInternalServerError:
+		t.Fatalf("parser panicked (500): %s", rec.Body)
+	default:
+		t.Fatalf("unexpected status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// FuzzObserveNDJSON throws arbitrary bytes at the NDJSON ingest path.
+func FuzzObserveNDJSON(f *testing.F) {
+	f.Add([]byte(`{"source":"s","object":"o","value":"v"}` + "\n"))
+	f.Add([]byte(`{"source":"s","object":"o","value":"v"}{"source":"t","object":"o","value":"w"}`))
+	f.Add([]byte("{broken"))
+	f.Add([]byte(`{"source":"","object":"o","value":"v"}`))
+	f.Add([]byte("null\ntrue\n[1,2]"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		observeFuzzBody(t, "application/x-ndjson", body)
+	})
+}
+
+// FuzzObserveCSV throws arbitrary bytes at the CSV ingest path.
+func FuzzObserveCSV(f *testing.F) {
+	f.Add([]byte("source,object,value\ns,o,v\n"))
+	f.Add([]byte("s,o,v\nt,o,w\n"))
+	f.Add([]byte(`"unterminated,quote`))
+	f.Add([]byte("a,b\n"))
+	f.Add([]byte("a,b,c,d\n"))
+	f.Add([]byte{0xef, 0xbb, 0xbf, 's', ',', 'o', ',', 'v'})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		observeFuzzBody(t, "text/csv", body)
+	})
+}

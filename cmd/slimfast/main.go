@@ -10,6 +10,7 @@
 //	         [-values out.csv] [-accuracies out.csv] \
 //	         [-checkpoint state.ckpt] [-restore state.ckpt]
 //	slimfast stream -listen :8080 [-checkpoint state.ckpt] [-restore state.ckpt] [-batch N]
+//	slimfast replay [-obs observations.csv|-] -to http://host:port [-batch N] [-attempts N]
 //
 // The observations CSV has a "source,object,value" header; features
 // "source,feature"; truth "object,value". With -json, a single document
@@ -55,6 +56,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "stream" {
 		return runStream(args[1:], os.Stdin, stdout)
+	}
+	if len(args) > 0 && args[0] == "replay" {
+		return runReplay(args[1:], os.Stdin, stdout)
 	}
 	fs := flag.NewFlagSet("slimfast", flag.ContinueOnError)
 	obsPath := fs.String("obs", "", "observations CSV (source,object,value)")

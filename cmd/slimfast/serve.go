@@ -1,22 +1,32 @@
 // The network serving mode behind `slimfast stream -listen`: an HTTP
 // API over the sharded engine, so the streaming reproduction runs as
 // a long-lived service — claims arrive over the wire, estimates are
-// queried live, and the engine state survives restarts through the
-// checkpoint endpoints and the SIGTERM handler.
+// queried live, and the engine state survives restarts through
+// generation-rotated checkpoints and the SIGTERM handler.
 //
 // Endpoints:
 //
-//	POST /observe     ingest claims (NDJSON objects or text/csv rows)
+//	POST /observe     ingest claims (NDJSON objects or text/csv rows);
+//	                  idempotent when stamped with X-Batch-Seq
 //	GET  /estimates   every live object's MAP value as CSV
 //	GET  /sources     source accuracies as CSV
+//	GET  /features    online learner feature weights as CSV
 //	POST /refine      run the exact re-sweep (?sweeps=N, default 2)
-//	POST /checkpoint  write the engine checkpoint to the -checkpoint path
+//	POST /checkpoint  write a checkpoint generation to the -checkpoint path
 //	GET  /healthz     liveness + engine stats as JSON
+//	GET  /readyz      readiness: 503 + Retry-After under admission pressure
 //
 // Ingest requests are serialized: for a fixed sequence of /observe
 // bodies the engine state (and so the /estimates bytes) is identical
 // run to run and across checkpoint/restore restarts — the property
 // the e2e restart job in CI pins down.
+//
+// The server is overload-safe by construction: an admission gate
+// bounds in-flight ingest bytes and requests (excess is shed with
+// 429 + Retry-After before any body is read), -request-timeout bounds
+// how long one request may trickle its body or wait on the ingest
+// lock, and every handler runs inside a panic-recovery middleware so
+// a poisoned request becomes a logged 500, not a dead service.
 package main
 
 import (
@@ -30,49 +40,125 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"slimfast/internal/data"
+	"slimfast/internal/resilience"
 	"slimfast/internal/stream"
 )
 
+// serveConfig carries the serving-mode knobs from the flag set.
+type serveConfig struct {
+	Addr  string
+	Batch int
+
+	// Store is the generation-rotated checkpoint store; nil disables
+	// the /checkpoint endpoint, periodic checkpointing and the final
+	// shutdown checkpoint.
+	Store *stream.CheckpointStore
+
+	// CheckpointEvery enables periodic background checkpointing at
+	// this cadence (0 = only on demand and at shutdown).
+	CheckpointEvery time.Duration
+
+	// RequestTimeout bounds one request end to end: the body read
+	// deadline and the wait for the ingest lock. 0 = no deadline.
+	RequestTimeout time.Duration
+
+	// Admission budgets: maximum concurrent in-flight ingest bytes and
+	// requests before /observe sheds with 429. <= 0 = unbounded.
+	MaxInflightBytes int64
+	MaxInflightReqs  int64
+}
+
 // streamServer wires the engine to the HTTP handlers.
 type streamServer struct {
-	eng      *stream.Engine
-	ckptPath string
-	batch    int
-	logw     io.Writer
-
-	// mu serializes ingest and checkpoint requests. Queries stay
-	// lock-free (the engine is concurrent-safe); the lock exists so a
-	// replayed request sequence deterministically reproduces the same
-	// engine state, checkpoints land on request boundaries, and the
-	// batch buffer is not shared between in-flight bodies.
-	mu sync.Mutex
+	eng  *stream.Engine
+	cfg  serveConfig
+	logw io.Writer
+	gate *resilience.Gate
+	// lock serializes ingest, refine and checkpoint requests — the
+	// channel form of a mutex, so acquisition can honor a request
+	// deadline. Queries stay lock-free (the engine is concurrent-safe);
+	// the lock exists so a replayed request sequence deterministically
+	// reproduces the same engine state and checkpoints land on request
+	// boundaries.
+	lock chan struct{}
 }
 
-func newStreamServer(eng *stream.Engine, ckptPath string, batch int, logw io.Writer) *streamServer {
-	if batch < 1 {
-		batch = 1
+func newStreamServer(eng *stream.Engine, cfg serveConfig, logw io.Writer) *streamServer {
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
 	}
-	return &streamServer{eng: eng, ckptPath: ckptPath, batch: batch, logw: logw}
+	return &streamServer{
+		eng:  eng,
+		cfg:  cfg,
+		logw: logw,
+		gate: resilience.NewGate(cfg.MaxInflightBytes, cfg.MaxInflightReqs),
+		lock: make(chan struct{}, 1),
+	}
 }
+
+// acquireIngest takes the ingest lock, giving up when ctx expires.
+func (s *streamServer) acquireIngest(ctx context.Context) bool {
+	select {
+	case s.lock <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case s.lock <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *streamServer) releaseIngest() { <-s.lock }
 
 // handler builds the route table. Method matching is delegated to the
-// ServeMux patterns (wrong methods get 405 for free).
+// ServeMux patterns (wrong methods get 405 for free); the whole mux
+// runs behind the panic-recovery middleware.
 func (s *streamServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /observe", s.handleObserve)
 	mux.HandleFunc("GET /estimates", s.handleEstimates)
 	mux.HandleFunc("GET /sources", s.handleSources)
+	mux.HandleFunc("GET /features", s.handleFeatures)
 	mux.HandleFunc("POST /refine", s.handleRefine)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics turns a handler panic into a logged 500 so one
+// poisoned request cannot take the connection (or a test binary)
+// down with it. net/http would swallow the panic per-connection
+// anyway, but silently and without a response.
+func (s *streamServer) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				fmt.Fprintf(s.logw, "# PANIC %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.httpError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requestContext derives the deadline-bounded context for one request
+// when -request-timeout is set.
+func (s *streamServer) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
 // observation is one NDJSON ingest record.
@@ -88,11 +174,67 @@ type observation struct {
 // Bigger streams just arrive as multiple requests.
 const maxObserveBody = 256 << 20
 
+// shed rejects a request with 429 + Retry-After — the contract the
+// resilience ingest client retries against.
+func (s *streamServer) shed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	s.httpError(w, http.StatusTooManyRequests, msg)
+}
+
+// seqKey extracts the client's idempotency key: the X-Batch-Seq
+// header, or the ?seq query parameter for header-less clients.
+func seqKey(r *http.Request) string {
+	if k := r.Header.Get(resilience.SeqHeader); k != "" {
+		return k
+	}
+	return r.URL.Query().Get("seq")
+}
+
 // handleObserve ingests a claim body. text/csv bodies use the
 // source,object,value exchange format (header row optional); anything
 // else is parsed as NDJSON. Claims feed the engine in fixed-size
 // deterministic batches, exactly like the CLI ingest loop.
+//
+// Requests stamped with an idempotency key (X-Batch-Seq header or
+// ?seq=) are exactly-once within the engine's dedup window: a
+// retried delivery of an already-ingested batch is acknowledged
+// without re-ingesting, and the window rides inside checkpoints so
+// the guarantee holds across restarts.
 func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
+	// Admission first, before a byte of body is read: reserve the
+	// declared Content-Length against the in-flight budget and shed
+	// with 429 when the server is saturated.
+	n := r.ContentLength
+	if n < 0 {
+		n = 1 << 20 // chunked body: reserve a nominal slot
+	}
+	release, err := s.gate.Acquire(n)
+	if err != nil {
+		s.shed(w, "observe: server saturated; retry with backoff")
+		return
+	}
+	defer release()
+
+	seq := seqKey(r)
+	if seq != "" && s.eng.SeqSeen(seq) {
+		// Fast path for retry storms: drop the duplicate before the
+		// body read and the lock. The authoritative check still happens
+		// under the lock below for requests that race here.
+		s.deduped(w, seq)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if s.cfg.RequestTimeout > 0 {
+		// Cut off trickling bodies at the deadline: without this a
+		// client sending one byte per minute holds its admission slot
+		// forever (the lock is safe — it is taken after the read).
+		rc := http.NewResponseController(w)
+		rc.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
+		defer rc.SetReadDeadline(time.Time{})
+	}
+
 	// Read the whole body before taking the ingest lock: the lock is
 	// held at request granularity (the determinism unit), and a client
 	// trickling its body must not wedge every other ingest and
@@ -101,21 +243,42 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			s.httpError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("observe: body exceeds %d bytes; split the stream into smaller requests", tooBig.Limit))
 			return
 		}
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.httpError(w, http.StatusRequestTimeout,
+				fmt.Sprintf("observe: body not received within %v", s.cfg.RequestTimeout))
+			return
+		}
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	buf := make([]stream.Triple, 0, s.batch)
-	var n int64
+
+	if !s.acquireIngest(ctx) {
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable,
+			"observe: timed out waiting for the ingest lock; retry with backoff")
+		return
+	}
+	defer s.releaseIngest()
+
+	// Authoritative dedup, now that we hold the lock: of two racing
+	// deliveries of the same key, exactly one ingests. A key is marked
+	// before ingest so a mid-body 400 (claims before the bad row are
+	// already in) is not re-applied by a confused retry.
+	if seq != "" && !s.eng.MarkSeq(seq) {
+		s.deduped(w, seq)
+		return
+	}
+
+	buf := make([]stream.Triple, 0, s.cfg.Batch)
+	var ingested int64
 	flush := func() {
 		if len(buf) > 0 {
 			s.eng.ObserveBatch(buf)
-			n += int64(len(buf))
+			ingested += int64(len(buf))
 			buf = buf[:0]
 		}
 	}
@@ -153,11 +316,21 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	flush()
 	if err != nil {
 		// Claims before the bad row are already ingested; report both.
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: %v (ingested %d claims before the error)", err, n))
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: %v (ingested %d claims before the error)", err, ingested))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ingested":     n,
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":     ingested,
+		"observations": s.eng.Stats().Observations,
+	})
+}
+
+// deduped acknowledges an already-ingested idempotency key.
+func (s *streamServer) deduped(w http.ResponseWriter, seq string) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":     0,
+		"deduped":      true,
+		"seq":          seq,
 		"observations": s.eng.Stats().Observations,
 	})
 }
@@ -165,26 +338,42 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 // serveCSV renders through emit into a buffer first, so an emit
 // failure can still become a clean 500 — writing straight to the
 // ResponseWriter would commit a 200 before the error surfaced.
-func serveCSV(w http.ResponseWriter, emit func(io.Writer) error) {
+func (s *streamServer) serveCSV(w http.ResponseWriter, emit func(io.Writer) error) {
 	var buf bytes.Buffer
 	if err := emit(&buf); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
-	w.Write(buf.Bytes())
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		fmt.Fprintf(s.logw, "# WARNING: writing CSV response: %v\n", err)
+	}
 }
 
 // handleEstimates serves the live MAP estimates as CSV — the same
 // bytes the CLI's -values output produces, which is what the restart
 // e2e test byte-compares.
 func (s *streamServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
-	serveCSV(w, func(out io.Writer) error { return writeEstimatesCSV(out, s.eng) })
+	s.serveCSV(w, func(out io.Writer) error { return writeEstimatesCSV(out, s.eng) })
 }
 
 // handleSources serves source accuracies as CSV.
 func (s *streamServer) handleSources(w http.ResponseWriter, r *http.Request) {
-	serveCSV(w, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
+	s.serveCSV(w, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
+}
+
+// handleFeatures exposes the online learner's model — the intercept
+// plus every feature's learned weight — so an operator can see what
+// the discriminative layer has learned without a checkpoint dump.
+// Engines without an online learner get 409, matching how /checkpoint
+// reports a missing -checkpoint path.
+func (s *streamServer) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	intercept, feats, ok := s.eng.FeatureWeights()
+	if !ok {
+		s.httpError(w, http.StatusConflict, "features: engine has no online learner (start with -features)")
+		return
+	}
+	s.serveCSV(w, func(out io.Writer) error { return writeFeatureWeightsCSV(out, intercept, feats) })
 }
 
 // maxRefineSweeps caps an operator-requested re-sweep: each sweep is
@@ -198,54 +387,77 @@ const maxRefineSweeps = 64
 // ?sweeps=N query selects the sweep count (default 2). The request
 // holds the ingest lock: the engine itself is safe to refine during
 // ingest, but serializing on request boundaries keeps a replayed
-// request sequence deterministic, like /observe and /checkpoint.
+// request sequence deterministic, like /observe and /checkpoint. A
+// refine storm therefore queues on the lock — with -request-timeout
+// set, the queue sheds itself with 503s instead of piling up.
 func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 	sweeps := 2
 	if q := r.URL.Query().Get("sweeps"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 || n > maxRefineSweeps {
-			httpError(w, http.StatusBadRequest,
+			s.httpError(w, http.StatusBadRequest,
 				fmt.Sprintf("refine: sweeps must be an integer in [1,%d], got %q", maxRefineSweeps, q))
 			return
 		}
 		sweeps = n
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if !s.acquireIngest(ctx) {
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable,
+			"refine: timed out waiting for the ingest lock; retry with backoff")
+		return
+	}
+	defer s.releaseIngest()
 	s.eng.Refine(sweeps)
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"sweeps":       sweeps,
 		"epoch":        st.Epoch,
 		"observations": st.Observations,
 	})
 }
 
-// handleCheckpoint durably checkpoints the engine to the configured
-// path and reports where the bytes went.
+// handleCheckpoint durably checkpoints the engine as a new generation
+// and reports where the bytes went.
 func (s *streamServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if s.ckptPath == "" {
-		httpError(w, http.StatusConflict, "no -checkpoint path configured")
+	if s.cfg.Store == nil {
+		s.httpError(w, http.StatusConflict, "no -checkpoint path configured")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.eng.WriteCheckpointFile(s.ckptPath); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if !s.acquireIngest(ctx) {
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable,
+			"checkpoint: timed out waiting for the ingest lock; retry with backoff")
 		return
 	}
+	defer s.releaseIngest()
+	if err := s.cfg.Store.Write(s.eng); err != nil {
+		s.httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	path := s.cfg.Store.Path()
 	var size int64
-	if fi, err := os.Stat(s.ckptPath); err == nil {
+	if fi, err := os.Stat(path); err == nil {
 		size = fi.Size()
 	}
-	fmt.Fprintf(s.logw, "# checkpoint written to %s (%d bytes)\n", s.ckptPath, size)
-	writeJSON(w, http.StatusOK, map[string]any{"path": s.ckptPath, "bytes": size})
+	fmt.Fprintf(s.logw, "# checkpoint written to %s (%d bytes)\n", path, size)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"path":        path,
+		"bytes":       size,
+		"generations": s.cfg.Store.Keep(),
+	})
 }
 
-// handleHealthz reports liveness plus the engine counters.
+// handleHealthz reports liveness plus the engine counters. It always
+// answers 200 while the process is up — readiness (can the server
+// take more load?) is /readyz's job.
 func (s *streamServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":       "ok",
 		"shards":       st.Shards,
 		"sources":      st.Sources,
@@ -256,23 +468,95 @@ func (s *streamServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+// handleReadyz reports admission pressure: 200 with the in-flight
+// counters while the gate has headroom, 503 + Retry-After when
+// saturated — the signal a load balancer uses to rotate a replica
+// out before its clients see 429s.
+func (s *streamServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reqs, inflight, shed := s.gate.Pressure()
+	body := map[string]any{
+		"inflight_requests": reqs,
+		"inflight_bytes":    inflight,
+		"shed_total":        shed,
+	}
+	if s.gate.Saturated() {
+		body["status"] = "overloaded"
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ready"
+	s.writeJSON(w, http.StatusOK, body)
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]any{"error": msg})
+// writeJSON writes a JSON response; encode/write failures (a client
+// that hung up mid-response) are logged, not dropped.
+func (s *streamServer) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		fmt.Fprintf(s.logw, "# WARNING: writing JSON response: %v\n", err)
+	}
+}
+
+func (s *streamServer) httpError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, map[string]any{"error": msg})
+}
+
+// checkpointLoop runs periodic background checkpointing: every tick
+// it takes the ingest lock (so generations land on request
+// boundaries), writes a generation, and on failure retries with
+// exponential backoff instead of silently skipping ticks — a full
+// disk gets retried until space returns or the server stops.
+func (s *streamServer) checkpointLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	bo := resilience.NewBackoff(1)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for {
+			if !s.acquireIngest(ctx) {
+				return
+			}
+			err := s.cfg.Store.Write(s.eng)
+			s.releaseIngest()
+			if err == nil {
+				bo.Reset()
+				fmt.Fprintf(s.logw, "# periodic checkpoint written to %s\n", s.cfg.Store.Path())
+				break
+			}
+			d := bo.Next()
+			fmt.Fprintf(s.logw, "# WARNING: periodic checkpoint failed (%v); retrying in %v\n", err, d)
+			if !resilienceSleep(ctx, d) {
+				return
+			}
+		}
+	}
+}
+
+// resilienceSleep waits d unless ctx ends first.
+func resilienceSleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // serveStream runs the HTTP service until SIGTERM/SIGINT or a fatal
 // listener error. On a signal it stops accepting, drains in-flight
-// requests, and — when a -checkpoint path is configured — writes a
-// final checkpoint so the next `-restore` boot resumes exactly here.
-func serveStream(eng *stream.Engine, addr, ckptPath string, batch int, stdout io.Writer) error {
-	s := newStreamServer(eng, ckptPath, batch, stdout)
-	ln, err := net.Listen("tcp", addr)
+// requests, and — when a checkpoint store is configured — writes a
+// final generation so the next `-restore` boot resumes exactly here.
+func serveStream(eng *stream.Engine, cfg serveConfig, stdout io.Writer) error {
+	s := newStreamServer(eng, cfg, stdout)
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err
 	}
@@ -280,7 +564,9 @@ func serveStream(eng *stream.Engine, addr, ckptPath string, batch int, stdout io
 	// -listen :0 it is how scripts discover the port.
 	fmt.Fprintf(stdout, "# listening on %s\n", ln.Addr())
 	// No ReadTimeout: large ingest bodies may legitimately take a
-	// while. Header and idle timeouts still shed dead connections.
+	// while, and -request-timeout bounds them per request when the
+	// operator wants that. Header and idle timeouts still shed dead
+	// connections.
 	srv := &http.Server{
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -288,6 +574,9 @@ func serveStream(eng *stream.Engine, addr, ckptPath string, batch int, stdout io
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if cfg.Store != nil && cfg.CheckpointEvery > 0 {
+		go s.checkpointLoop(ctx, cfg.CheckpointEvery)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	var shutdownErr error
@@ -309,12 +598,12 @@ func serveStream(eng *stream.Engine, addr, ckptPath string, batch int, stdout io
 			shutdownErr = err
 		}
 	}
-	if ckptPath != "" {
-		if err := eng.WriteCheckpointFile(ckptPath); err != nil {
+	if cfg.Store != nil {
+		if err := cfg.Store.Write(eng); err != nil {
 			return errors.Join(shutdownErr, err)
 		}
 		st := eng.Stats()
-		fmt.Fprintf(stdout, "# shutdown checkpoint written to %s (%d observations)\n", ckptPath, st.Observations)
+		fmt.Fprintf(stdout, "# shutdown checkpoint written to %s (%d observations)\n", cfg.Store.Path(), st.Observations)
 	}
 	return shutdownErr
 }

@@ -40,6 +40,16 @@ func doReq(t *testing.T, h http.Handler, method, path, contentType, body string)
 	return rec
 }
 
+// testServer builds a streamServer the way most tests want one: the
+// given batch size, an optional checkpoint store, defaults elsewhere.
+func testServer(eng *stream.Engine, ckpt string, batch int) *streamServer {
+	var store *stream.CheckpointStore
+	if ckpt != "" {
+		store = stream.NewCheckpointStore(ckpt, 2)
+	}
+	return newStreamServer(eng, serveConfig{Batch: batch, Store: store}, io.Discard)
+}
+
 func testEngine(t *testing.T, workers int) *stream.Engine {
 	t.Helper()
 	opts := stream.DefaultEngineOptions()
@@ -66,7 +76,7 @@ func TestServeRestartDeterminism(t *testing.T) {
 
 	for _, workers := range []int{1, 4} {
 		// One uninterrupted life.
-		hU := newStreamServer(testEngine(t, workers), "", 64, io.Discard).handler()
+		hU := testServer(testEngine(t, workers), "", 64).handler()
 		for _, body := range []string{part1, part2} {
 			if rec := doReq(t, hU, "POST", "/observe", "", body); rec.Code != http.StatusOK {
 				t.Fatalf("workers=%d: observe = %d: %s", workers, rec.Code, rec.Body)
@@ -77,7 +87,7 @@ func TestServeRestartDeterminism(t *testing.T) {
 
 		// Ingest, checkpoint, die, restore, finish.
 		ckpt := filepath.Join(t.TempDir(), "srv.ckpt")
-		h1 := newStreamServer(testEngine(t, workers), ckpt, 64, io.Discard).handler()
+		h1 := testServer(testEngine(t, workers), ckpt, 64).handler()
 		if rec := doReq(t, h1, "POST", "/observe", "", part1); rec.Code != http.StatusOK {
 			t.Fatalf("workers=%d: part1 = %d: %s", workers, rec.Code, rec.Body)
 		}
@@ -88,7 +98,7 @@ func TestServeRestartDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h2 := newStreamServer(restored, ckpt, 64, io.Discard).handler()
+		h2 := testServer(restored, ckpt, 64).handler()
 		if rec := doReq(t, h2, "POST", "/observe", "", part2); rec.Code != http.StatusOK {
 			t.Fatalf("workers=%d: part2 = %d: %s", workers, rec.Code, rec.Body)
 		}
@@ -102,7 +112,7 @@ func TestServeRestartDeterminism(t *testing.T) {
 }
 
 func TestServeObserveCSVAndQueries(t *testing.T) {
-	h := newStreamServer(testEngine(t, 2), "", 32, io.Discard).handler()
+	h := testServer(testEngine(t, 2), "", 32).handler()
 	rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(40))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("csv observe = %d: %s", rec.Code, rec.Body)
@@ -140,7 +150,7 @@ func TestServeObserveCSVAndQueries(t *testing.T) {
 }
 
 func TestServeErrors(t *testing.T) {
-	h := newStreamServer(testEngine(t, 1), "", 32, io.Discard).handler()
+	h := testServer(testEngine(t, 1), "", 32).handler()
 	if rec := doReq(t, h, "GET", "/observe", "", ""); rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /observe = %d, want 405", rec.Code)
 	}
@@ -192,7 +202,9 @@ func TestServeStreamSIGTERM(t *testing.T) {
 	eng := testEngine(t, 2)
 	var out syncBuffer
 	done := make(chan error, 1)
-	go func() { done <- serveStream(eng, "127.0.0.1:0", ckpt, 32, &out) }()
+	go func() {
+		done <- serveStream(eng, serveConfig{Addr: "127.0.0.1:0", Batch: 32, Store: stream.NewCheckpointStore(ckpt, 2)}, &out)
+	}()
 
 	// Wait for the listen line and extract the bound address.
 	var addr string
@@ -289,7 +301,7 @@ func TestStreamSubcommandCheckpointRestore(t *testing.T) {
 // the load-bearing part — refines racing a concurrent ingest stream
 // without breaking determinism of the final state.
 func TestServeRefineEndpoint(t *testing.T) {
-	h := newStreamServer(testEngine(t, 2), "", 32, io.Discard).handler()
+	h := testServer(testEngine(t, 2), "", 32).handler()
 	if rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(60)); rec.Code != http.StatusOK {
 		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
 	}
@@ -337,7 +349,7 @@ func TestServeRefineConcurrentWithIngest(t *testing.T) {
 		bodies[i] = strings.Join(all[lo:hi], "\n") + "\n"
 	}
 
-	srv := newStreamServer(testEngine(t, 2), "", 32, io.Discard)
+	srv := testServer(testEngine(t, 2), "", 32)
 	h := srv.handler()
 	var wg sync.WaitGroup
 	errs := make(chan string, chunks+4)
@@ -369,7 +381,7 @@ func TestServeRefineConcurrentWithIngest(t *testing.T) {
 	}
 
 	// Sequential reference: same claims, then the same final refine.
-	ref := newStreamServer(testEngine(t, 2), "", 32, io.Discard)
+	ref := testServer(testEngine(t, 2), "", 32)
 	hRef := ref.handler()
 	for _, body := range bodies {
 		if rec := doReq(t, hRef, "POST", "/observe", "", body); rec.Code != http.StatusOK {
@@ -410,7 +422,7 @@ func featureEngine(t *testing.T, workers int) *stream.Engine {
 // the accuracy decomposition on /sources, and the restart guarantee
 // holds for the v2 checkpoint.
 func TestServeSourcesDetailInOnlineMode(t *testing.T) {
-	h := newStreamServer(featureEngine(t, 2), "", 64, io.Discard).handler()
+	h := testServer(featureEngine(t, 2), "", 64).handler()
 	if rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(150)); rec.Code != http.StatusOK {
 		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
 	}
@@ -437,13 +449,13 @@ func TestServeSourcesDetailInOnlineMode(t *testing.T) {
 	cut := 5 * len(all) / 9
 	part1 := strings.Join(all[:cut], "\n") + "\n"
 	part2 := strings.Join(all[cut:], "\n") + "\n"
-	hU := newStreamServer(featureEngine(t, 2), "", 64, io.Discard).handler()
+	hU := testServer(featureEngine(t, 2), "", 64).handler()
 	doReq(t, hU, "POST", "/observe", "", part1)
 	doReq(t, hU, "POST", "/observe", "", part2)
 	wantSrc := doReq(t, hU, "GET", "/sources", "", "").Body.String()
 
 	ckpt := filepath.Join(t.TempDir(), "online.ckpt")
-	h1 := newStreamServer(featureEngine(t, 2), ckpt, 64, io.Discard).handler()
+	h1 := testServer(featureEngine(t, 2), ckpt, 64).handler()
 	doReq(t, h1, "POST", "/observe", "", part1)
 	if rec := doReq(t, h1, "POST", "/checkpoint", "", ""); rec.Code != http.StatusOK {
 		t.Fatalf("checkpoint = %d: %s", rec.Code, rec.Body)
@@ -455,7 +467,7 @@ func TestServeSourcesDetailInOnlineMode(t *testing.T) {
 	if !restored.OnlineLearning() {
 		t.Fatal("restored engine lost the learner")
 	}
-	h2 := newStreamServer(restored, ckpt, 64, io.Discard).handler()
+	h2 := testServer(restored, ckpt, 64).handler()
 	doReq(t, h2, "POST", "/observe", "", part2)
 	if got := doReq(t, h2, "GET", "/sources", "", "").Body.String(); got != wantSrc {
 		t.Errorf("restored online /sources diverges from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, wantSrc)

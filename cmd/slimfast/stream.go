@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"slimfast/internal/data"
@@ -40,7 +41,12 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	accOut := fs.String("accuracies", "", "write final source accuracies CSV here (default stdout)")
 	listen := fs.String("listen", "", "serve the HTTP ingest/query API on this address (e.g. :8080) instead of reading -obs")
 	ckptPath := fs.String("checkpoint", "", "checkpoint file: written on POST /checkpoint and SIGTERM (serve mode) or after the final output (batch mode)")
-	restorePath := fs.String("restore", "", "resume from this checkpoint when it exists (engine flags like -shards then come from the checkpoint)")
+	ckptKeep := fs.Int("checkpoint-keep", stream.DefaultCheckpointKeep, "checkpoint generations to retain (newest at the -checkpoint path, older at path.1, path.2, ...)")
+	ckptEvery := fs.Duration("checkpoint-every", 0, "write a checkpoint generation this often in serve mode (0 = only on demand and at shutdown)")
+	reqTimeout := fs.Duration("request-timeout", 0, "serve mode: bound one request's body read and ingest-lock wait (0 = no deadline)")
+	maxInflightMB := fs.Int64("max-inflight-mb", 512, "serve mode: shed /observe with 429 beyond this many MiB of concurrent in-flight bodies (0 = unbounded)")
+	maxInflightReqs := fs.Int64("max-inflight-reqs", 256, "serve mode: shed /observe with 429 beyond this many concurrent requests (0 = unbounded)")
+	restorePath := fs.String("restore", "", "resume from this checkpoint when it exists (engine flags like -shards then come from the checkpoint); damaged generations fall back to older ones")
 	featPath := fs.String("features", "", "source features CSV (source,feature); enables online discriminative reliability learning")
 	window := fs.Int("window", 0, "drift window in epochs for the online learner (0 = default; needs -features)")
 	if err := fs.Parse(args); err != nil {
@@ -49,12 +55,14 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	var eng *stream.Engine
 	if *restorePath != "" {
-		switch restored, err := stream.RestoreFile(*restorePath); {
+		rs := stream.NewCheckpointStore(*restorePath, *ckptKeep)
+		rs.Log = stdout
+		switch restored, from, err := rs.Restore(); {
 		case err == nil:
 			eng = restored
 			st := eng.Stats()
 			fmt.Fprintf(stdout, "# restored %d objects from %d sources (%d observations, epoch %d) from %s\n",
-				st.Objects, st.Sources, st.Observations, st.Epoch, *restorePath)
+				st.Objects, st.Sources, st.Observations, st.Epoch, from)
 		case errors.Is(err, os.ErrNotExist):
 			// One command line serves both cold and warm boots.
 			fmt.Fprintf(stdout, "# no checkpoint at %s, starting fresh\n", *restorePath)
@@ -107,8 +115,21 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	}
+	var store *stream.CheckpointStore
+	if *ckptPath != "" {
+		store = stream.NewCheckpointStore(*ckptPath, *ckptKeep)
+		store.Log = stdout
+	}
 	if *listen != "" {
-		return serveStream(eng, *listen, *ckptPath, *batch, stdout)
+		return serveStream(eng, serveConfig{
+			Addr:             *listen,
+			Batch:            *batch,
+			Store:            store,
+			CheckpointEvery:  *ckptEvery,
+			RequestTimeout:   *reqTimeout,
+			MaxInflightBytes: *maxInflightMB << 20,
+			MaxInflightReqs:  *maxInflightReqs,
+		}, stdout)
 	}
 	var watched []string
 	if *watch != "" {
@@ -183,11 +204,11 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := writeStreamAccuracies(*accOut, stdout, eng); err != nil {
 		return err
 	}
-	if *ckptPath != "" {
-		if err := eng.WriteCheckpointFile(*ckptPath); err != nil {
+	if store != nil {
+		if err := store.Write(eng); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "# checkpoint written to %s\n", *ckptPath)
+		fmt.Fprintf(stdout, "# checkpoint written to %s\n", store.Path())
 	}
 	return nil
 }
@@ -242,6 +263,28 @@ func writeSourceAccuraciesCSV(w io.Writer, eng *stream.Engine) error {
 		}
 		rec := []string{s, fmt.Sprintf("%.4f", acc), fmt.Sprintf("%.4f", learned), fmt.Sprintf("%.4f", empirical)}
 		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeFeatureWeightsCSV emits the online learner's model for the
+// server's GET /features: the intercept first, then every feature
+// label sorted, each with its learned logit-space weight.
+func writeFeatureWeightsCSV(w io.Writer, intercept float64, feats []online.WeightedFeature) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"feature", "weight"}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"(intercept)", fmt.Sprintf("%.6f", intercept)}); err != nil {
+		return err
+	}
+	sorted := append([]online.WeightedFeature(nil), feats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	for _, f := range sorted {
+		if err := cw.Write([]string{f.Label, fmt.Sprintf("%.6f", f.Weight)}); err != nil {
 			return err
 		}
 	}

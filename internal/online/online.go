@@ -236,6 +236,26 @@ func (l *Learner) SetFeatures(sid int, labels []string) {
 	l.winTotal = append(l.winTotal, 0)
 }
 
+// WeightedFeature is one (label, weight) pair from the learned model.
+type WeightedFeature struct {
+	Label  string
+	Weight float64
+}
+
+// FeatureWeights enumerates every interned feature label with its
+// learned weight, in intern (first-seen) order, plus the intercept
+// (0 when the intercept is disabled). The slice is freshly allocated.
+func (l *Learner) FeatureWeights() (intercept float64, feats []WeightedFeature) {
+	if l.cfg.Intercept {
+		intercept = l.w[0]
+	}
+	feats = make([]WeightedFeature, len(l.featNames))
+	for k, name := range l.featNames {
+		feats[k] = WeightedFeature{Label: name, Weight: l.w[1+k]}
+	}
+	return intercept, feats
+}
+
 // FeatureWeight returns the learned weight of a feature label (0 for
 // unknown labels).
 func (l *Learner) FeatureWeight(label string) float64 {

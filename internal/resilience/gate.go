@@ -1,0 +1,84 @@
+// Package resilience holds the overload- and fault-tolerance
+// primitives under the serving path: an admission gate that bounds
+// in-flight ingest work, deterministic exponential backoff, a
+// retrying HTTP ingest client with idempotency keys, and the
+// fault-injection shims (torn writes, ENOSPC, bit flips) the
+// durability tests drive through the checkpoint store.
+//
+// Nothing here knows about the fusion engine: the package sits below
+// cmd/slimfast and internal/stream so both the single-node server and
+// the future cluster router can reuse the same admission, retry and
+// fault-injection machinery.
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Gate.Acquire when admitting the request
+// would exceed the configured in-flight byte or request budget. The
+// HTTP layer maps it to 429 + Retry-After; the retrying client backs
+// off and re-sends.
+var ErrSaturated = errors.New("resilience: server saturated")
+
+// Gate is the admission controller: it bounds the number of in-flight
+// requests and the total body bytes they may hold buffered at once,
+// so a storm of large ingest bodies degrades into fast 429s instead
+// of unbounded memory growth and a wedged ingest queue. The zero
+// value admits nothing; use NewGate.
+type Gate struct {
+	maxBytes int64
+	maxReqs  int64
+	bytes    atomic.Int64
+	reqs     atomic.Int64
+	shed     atomic.Int64 // total admissions refused (observability)
+}
+
+// NewGate returns a gate admitting at most maxReqs concurrent
+// requests holding at most maxBytes total reserved body bytes.
+// Non-positive values select unbounded on that axis.
+func NewGate(maxBytes, maxReqs int64) *Gate {
+	return &Gate{maxBytes: maxBytes, maxReqs: maxReqs}
+}
+
+// Acquire reserves n bytes and one request slot. On success it
+// returns a release function (safe to call exactly once); when the
+// reservation would exceed either budget it returns ErrSaturated and
+// reserves nothing.
+func (g *Gate) Acquire(n int64) (release func(), err error) {
+	if n < 0 {
+		n = 0
+	}
+	if r := g.reqs.Add(1); g.maxReqs > 0 && r > g.maxReqs {
+		g.reqs.Add(-1)
+		g.shed.Add(1)
+		return nil, ErrSaturated
+	}
+	if b := g.bytes.Add(n); g.maxBytes > 0 && b > g.maxBytes {
+		g.bytes.Add(-n)
+		g.reqs.Add(-1)
+		g.shed.Add(1)
+		return nil, ErrSaturated
+	}
+	return func() {
+		g.bytes.Add(-n)
+		g.reqs.Add(-1)
+	}, nil
+}
+
+// Pressure reports the current reservation state: in-flight requests,
+// reserved bytes, and how many admissions have been shed since start.
+func (g *Gate) Pressure() (reqs, bytes, shed int64) {
+	return g.reqs.Load(), g.bytes.Load(), g.shed.Load()
+}
+
+// Saturated reports whether the gate is at (or beyond) either budget
+// right now — the /readyz signal: a load balancer should stop routing
+// new ingest here until pressure drains.
+func (g *Gate) Saturated() bool {
+	if g.maxReqs > 0 && g.reqs.Load() >= g.maxReqs {
+		return true
+	}
+	return g.maxBytes > 0 && g.bytes.Load() >= g.maxBytes
+}

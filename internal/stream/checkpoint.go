@@ -32,13 +32,17 @@ import (
 // Format versions. v1 is the PR 4 layout; v2 appends the online
 // discriminative-learning section — the Features table, the learner
 // configuration (options block) and the learner state (weights, window
-// ring, RNG/step counters) after the shard records. Writers always
-// emit the current version; Restore reads both, so pre-online
-// checkpoints keep warm-booting (as agreement-only engines).
+// ring, RNG/step counters) after the shard records. v3 adds the
+// ingest idempotency state: the resolved DedupWindow in the options
+// block and the sequence-key ring after the learner section, so a
+// client retry that straddles a restart still deduplicates. Writers
+// always emit the current version; Restore reads all three, so older
+// checkpoints keep warm-booting (with an empty dedup window).
 const (
 	checkpointMagic     = "SFCK"
 	checkpointVersionV1 = uint32(1)
-	checkpointVersion   = uint32(2)
+	checkpointVersionV2 = uint32(2)
+	checkpointVersion   = uint32(3)
 )
 
 // maxCheckpointSlots bounds slab and claim counts read from a
@@ -51,6 +55,14 @@ const (
 	maxCheckpointSlots = 1 << 28
 	growSlots          = 1 << 12
 )
+
+// maxCheckpointShards bounds the shard count a checkpoint may declare
+// before the engine skeleton is built. Shard counts track CPU cores
+// (default GOMAXPROCS), so 4096 is far beyond any real deployment —
+// but NewEngine allocates eagerly per shard, and without this guard a
+// corrupted count costs seconds of allocation before the checksum is
+// ever checked.
+const maxCheckpointShards = 1 << 12
 
 // Typed restore failures, matched with errors.Is. Wire-level failures
 // (wire.ErrMagic, wire.ErrVersion, wire.ErrChecksum,
@@ -155,6 +167,7 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	opts := e.opts
 	opts.Shards = e.nShards            // pin the resolved count: GOMAXPROCS on the
 	opts.EpochLength = int(e.epochLen) // restoring host must not change the layout
+	opts.DedupWindow = e.seqCap        // pin so the restored window evicts identically
 	var learnerSnap *online.Learner
 	if e.learner != nil {
 		// Pin the resolved learner config too (Learn may have been the
@@ -167,6 +180,7 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		learnerSnap = e.learner.Clone()
 	}
 	e.refreshMu.Unlock()
+	seqKeys := e.seqSnapshot()
 
 	bw := bufio.NewWriter(w)
 	ww := wire.NewWriter(bw, checkpointMagic, checkpointVersion)
@@ -187,6 +201,7 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	if learnerSnap != nil {
 		learnerSnap.EncodeState(ww)
 	}
+	ww.Strings(seqKeys)
 	if err := ww.Close(); err != nil {
 		return fmt.Errorf("stream: checkpoint: %w", err)
 	}
@@ -209,6 +224,7 @@ func encodeOptions(w *wire.Writer, o EngineOptions) {
 	w.Int(o.Workers)
 	w.Int(o.EpochLength)
 	w.Int(o.MaxObjects)
+	w.Int(o.DedupWindow)
 	w.Bool(o.OnlineLearn)
 	if !o.OnlineLearn {
 		return
@@ -235,6 +251,9 @@ func decodeOptions(r *wire.Reader, version uint32) (EngineOptions, error) {
 	o.Workers = r.Int()
 	o.EpochLength = r.Int()
 	o.MaxObjects = r.Int()
+	if version >= 3 {
+		o.DedupWindow = r.Int()
+	}
 	if version < 2 {
 		return o, nil
 	}
@@ -323,7 +342,8 @@ func corruptf(format string, args ...any) error {
 // structural corruption — it returns a nil engine and a typed error;
 // no partially-restored engine ever escapes.
 func Restore(r io.Reader) (*Engine, error) {
-	rr, version, err := wire.NewReaderVersions(bufio.NewReader(r), checkpointMagic, checkpointVersionV1, checkpointVersion)
+	rr, version, err := wire.NewReaderVersions(bufio.NewReader(r), checkpointMagic,
+		checkpointVersionV1, checkpointVersionV2, checkpointVersion)
 	if err != nil {
 		return nil, fmt.Errorf("stream: restore: %w", err)
 	}
@@ -351,6 +371,9 @@ func Restore(r io.Reader) (*Engine, error) {
 	}
 	if nShards <= 0 || nShards != opts.Shards {
 		return nil, fmt.Errorf("%w: header says %d shard records, options say %d", ErrShardCount, nShards, opts.Shards)
+	}
+	if nShards > maxCheckpointShards {
+		return nil, corruptf("checkpoint declares %d shards, cap is %d", nShards, maxCheckpointShards)
 	}
 
 	e, err := NewEngine(opts)
@@ -389,6 +412,21 @@ func Restore(r io.Reader) (*Engine, error) {
 		}
 		if n := e.learner.NumSources(); n > nSrc {
 			return nil, corruptf("online learner tracks %d sources, table has %d", n, nSrc)
+		}
+	}
+	if version >= 3 {
+		seqKeys := rr.Strings()
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("stream: restore: %w", err)
+		}
+		if len(seqKeys) > e.seqCap {
+			return nil, corruptf("dedup window holds %d keys, cap is %d", len(seqKeys), e.seqCap)
+		}
+		for _, k := range seqKeys {
+			if k == "" {
+				return nil, corruptf("dedup window holds an empty key")
+			}
+			e.MarkSeq(k)
 		}
 	}
 	if err := rr.Close(); err != nil {

@@ -231,12 +231,12 @@ func TestRestoreChecksumMismatch(t *testing.T) {
 // a future format must be refused up front.
 func TestRestoreVersionSkew(t *testing.T) {
 	b := smallCheckpoint(t)
-	b[4] ^= 0x02 // version is the LE uint32 right after the 4-byte magic
+	b[4] ^= 0x08 // version is the LE uint32 right after the 4-byte magic
 	e, err := Restore(bytes.NewReader(b))
 	if e != nil || !errors.Is(err, wire.ErrVersion) {
 		t.Errorf("engine=%v err=%v, want nil + wire.ErrVersion", e != nil, err)
 	}
-	b[4] ^= 0x02
+	b[4] ^= 0x08
 	b[0] = 'X' // and a non-checkpoint stream fails on magic
 	if e, err := Restore(bytes.NewReader(b)); e != nil || !errors.Is(err, wire.ErrMagic) {
 		t.Errorf("engine=%v err=%v, want nil + wire.ErrMagic", e != nil, err)

@@ -102,11 +102,23 @@ type EngineOptions struct {
 	// (or the Fuser) would keep. That is the memory/fidelity trade;
 	// size MaxObjects above the working set where exactness matters.
 	MaxObjects int
+
+	// DedupWindow bounds the ingest idempotency window: how many
+	// recent batch sequence keys (MarkSeq) the engine remembers — and
+	// checkpoints, so a client retry straddling a restart still
+	// collapses to exactly-once. <= 0 selects DefaultDedupWindow.
+	DedupWindow int
 }
 
 // DefaultEpochLength is the σ-refresh interval used when
 // EngineOptions.EpochLength is unset.
 const DefaultEpochLength = 1024
+
+// DefaultDedupWindow is the sequence-key window used when
+// EngineOptions.DedupWindow is unset: large enough that a retry storm
+// across a fleet of replaying clients stays deduplicated, small
+// enough that the window is noise in the checkpoint.
+const DefaultDedupWindow = 4096
 
 // DefaultEngineOptions returns production defaults: Fuser estimator
 // settings, one shard per core, unbounded memory.
@@ -288,6 +300,16 @@ type Engine struct {
 	learnMu  sync.RWMutex
 	features map[string][]string
 
+	// Ingest idempotency window: a bounded ring of recent batch
+	// sequence keys plus its membership set, guarded by seqMu. The
+	// window rides in the checkpoint (v3) so retries that straddle a
+	// restart still deduplicate.
+	seqMu   sync.Mutex
+	seqKeys []string
+	seqHead int // ring start when full
+	seqSet  map[string]struct{}
+	seqCap  int
+
 	// Drain scratch, reused across refreshes (guarded by refreshMu).
 	mergeAgree []float64
 	mergeTotal []float64
@@ -310,6 +332,11 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	if e.epochLen <= 0 {
 		e.epochLen = DefaultEpochLength
 	}
+	e.seqCap = opts.DedupWindow
+	if e.seqCap <= 0 {
+		e.seqCap = DefaultDedupWindow
+	}
+	e.seqSet = make(map[string]struct{})
 	if opts.MaxObjects > 0 {
 		e.shardCap = (opts.MaxObjects + n - 1) / n
 	}
@@ -1042,6 +1069,20 @@ func (e *Engine) SourceAccuracyDetail(source string) (acc, learned, empirical fl
 	return acc, learned, empirical, true
 }
 
+// FeatureWeights snapshots the online learner's model: the intercept
+// plus every interned (label, weight) pair in intern order. ok is
+// false when the engine has no online learner. Safe to call during
+// ingest.
+func (e *Engine) FeatureWeights() (intercept float64, feats []online.WeightedFeature, ok bool) {
+	if e.learner == nil {
+		return 0, nil, false
+	}
+	e.learnMu.RLock()
+	defer e.learnMu.RUnlock()
+	intercept, feats = e.learner.FeatureWeights()
+	return intercept, feats, true
+}
+
 // PredictAccuracy estimates the accuracy of a source never seen on the
 // stream from feature labels alone — the serving analog of
 // core.Model.PredictAccuracy (Section 5.3.2). Returns the prior when
@@ -1177,6 +1218,57 @@ func (e *Engine) Stats() EngineStats {
 		sh.mu.RUnlock()
 	}
 	return st
+}
+
+// MarkSeq records an ingest idempotency key and reports whether it
+// was new: true means the caller should ingest the batch, false means
+// the key is a replay inside the dedup window and the batch has
+// already been applied. The window is a bounded ring — once full, the
+// oldest key is forgotten — sized by EngineOptions.DedupWindow.
+func (e *Engine) MarkSeq(key string) bool {
+	if key == "" {
+		return true
+	}
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
+	if _, dup := e.seqSet[key]; dup {
+		return false
+	}
+	if len(e.seqKeys) < e.seqCap {
+		e.seqKeys = append(e.seqKeys, key)
+	} else {
+		delete(e.seqSet, e.seqKeys[e.seqHead])
+		e.seqKeys[e.seqHead] = key
+		e.seqHead = (e.seqHead + 1) % e.seqCap
+	}
+	e.seqSet[key] = struct{}{}
+	return true
+}
+
+// SeqSeen reports whether key is currently inside the dedup window
+// without recording it — the fast pre-lock duplicate check.
+func (e *Engine) SeqSeen(key string) bool {
+	if key == "" {
+		return false
+	}
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
+	_, dup := e.seqSet[key]
+	return dup
+}
+
+// seqSnapshot copies the dedup window oldest-first (the order MarkSeq
+// replay must reinsert to preserve eviction order).
+func (e *Engine) seqSnapshot() []string {
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
+	if len(e.seqKeys) < e.seqCap {
+		return append([]string(nil), e.seqKeys...)
+	}
+	out := make([]string, 0, len(e.seqKeys))
+	out = append(out, e.seqKeys[e.seqHead:]...)
+	out = append(out, e.seqKeys[:e.seqHead]...)
+	return out
 }
 
 // Snapshot exports the live claims as an immutable Dataset plus the

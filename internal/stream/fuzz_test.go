@@ -1,0 +1,56 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzCheckpoint builds a small valid checkpoint to seed the corpus.
+func fuzzCheckpoint() []byte {
+	opts := DefaultEngineOptions()
+	opts.Shards = 2
+	opts.EpochLength = 16
+	opts.DedupWindow = 8
+	e, err := NewEngine(opts)
+	if err != nil {
+		panic(err)
+	}
+	e.Observe("s1", "o1", "a")
+	e.Observe("s2", "o1", "b")
+	e.Observe("s1", "o2", "a")
+	e.MarkSeq("seed-batch-0")
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRestore feeds arbitrary bytes to the checkpoint decoder: it
+// must never panic or over-allocate, and anything it does accept must
+// be a live engine whose re-checkpoint round-trips.
+func FuzzRestore(f *testing.F) {
+	seed := fuzzCheckpoint()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped) // checksum breaker
+	f.Add([]byte("SFCK"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Restore(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must function: stats, estimates, and a
+		// re-checkpoint that itself restores.
+		_ = e.Stats()
+		var buf bytes.Buffer
+		if err := e.WriteCheckpoint(&buf); err != nil {
+			t.Fatalf("restored engine cannot re-checkpoint: %v", err)
+		}
+		if _, err := Restore(&buf); err != nil {
+			t.Fatalf("re-checkpoint does not restore: %v", err)
+		}
+	})
+}

@@ -9,7 +9,9 @@
 #
 # The suite runs twice: once agreement-only, once in -features mode,
 # so the v2 checkpoint (learner weights, window ring, step counters)
-# is covered by the same hard-kill proof as the shard state.
+# is covered by the same hard-kill proof as the shard state. A third
+# pass damages the newest checkpoint generation on disk and requires
+# the restart to fall back to the previous generation bit-exactly.
 set -eu
 
 WORK="$(mktemp -d)"
@@ -129,8 +131,70 @@ restart_suite() {
 	echo "PASS [$MODE]: restart is byte-invisible ($lines estimate lines identical)"
 }
 
+# corruption_suite — the generation-fallback proof: build two
+# checkpoint generations, damage the newest one on disk (truncation
+# plus a bit flip, the classic torn-write-at-rest), and require the
+# restarted server to boot from the previous generation bit-exact —
+# then finish the ingest and land on the same bytes as the
+# uninterrupted plain run.
+corruption_suite() {
+	echo "== [corrupt] build two checkpoint generations"
+	CKPT="$WORK/corrupt.engine.ckpt"
+	start_server "$WORK/corrupt.run1.log" -checkpoint "$CKPT" -checkpoint-keep 3
+	post_csv "$ADDR" "$WORK/part1.csv"
+	curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
+	curl -fsS "http://$ADDR/estimates" > "$WORK/corrupt.estimates.gen1.csv"
+	post_csv "$ADDR" "$WORK/part2.csv"
+	curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
+	kill -9 "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
+	SRV_PID=""
+	[ -s "$CKPT" ] && [ -s "$CKPT.1" ] || {
+		echo "[corrupt] expected two generations at $CKPT{,.1}:" >&2
+		ls -l "$WORK" >&2
+		exit 1
+	}
+
+	echo "== [corrupt] truncate + bit-flip the newest generation"
+	SIZE="$(wc -c < "$CKPT")"
+	KEEP=$((SIZE * 3 / 5))
+	head -c "$KEEP" "$CKPT" > "$CKPT.damaged"
+	mv "$CKPT.damaged" "$CKPT"
+	printf '\377' | dd of="$CKPT" bs=1 seek=$((KEEP / 2)) conv=notrunc 2>/dev/null
+
+	echo "== [corrupt] restart must fall back to the previous generation"
+	start_server "$WORK/corrupt.run2.log" -restore "$CKPT" -checkpoint "$CKPT" -checkpoint-keep 3
+	grep -q 'WARNING: checkpoint generation .* unreadable' "$WORK/corrupt.run2.log" || {
+		echo "[corrupt] no fallback warning in the boot log:" >&2
+		cat "$WORK/corrupt.run2.log" >&2
+		exit 1
+	}
+	grep -q "^# restored .* from $CKPT.1\$" "$WORK/corrupt.run2.log" || {
+		echo "[corrupt] server did not restore from generation 1:" >&2
+		cat "$WORK/corrupt.run2.log" >&2
+		exit 1
+	}
+	curl -fsS "http://$ADDR/estimates" > "$WORK/corrupt.estimates.restored.csv"
+	diff "$WORK/corrupt.estimates.gen1.csv" "$WORK/corrupt.estimates.restored.csv" || {
+		echo "FAIL [corrupt]: fallback generation is not bit-exact" >&2
+		exit 1
+	}
+
+	echo "== [corrupt] finishing the ingest converges with the uninterrupted run"
+	post_csv "$ADDR" "$WORK/part2.csv"
+	curl -fsS -X POST "http://$ADDR/refine?sweeps=2" > /dev/null
+	curl -fsS "http://$ADDR/estimates" > "$WORK/corrupt.estimates.final.csv"
+	kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
+	SRV_PID=""
+	diff "$WORK/plain.estimates.uninterrupted.csv" "$WORK/corrupt.estimates.final.csv" || {
+		echo "FAIL [corrupt]: post-fallback ingest diverged from the uninterrupted run" >&2
+		exit 1
+	}
+	echo "PASS [corrupt]: damaged generation fell back bit-exactly and converged"
+}
+
 restart_suite plain
 restart_suite features -features "$WORK/features.csv"
+corruption_suite
 
 # The online run must actually have engaged the learner: its /sources
 # carries the accuracy decomposition columns.
