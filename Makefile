@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-full bench benchdiff lint cover serve e2e
+.PHONY: build vet test test-full bench benchdiff lint cover serve e2e e2e-cluster linkcheck
 
 ## build: compile every package
 build:
@@ -56,3 +56,14 @@ serve:
 ## plus the corruption scenario (damaged newest generation falls back)
 e2e:
 	./scripts/e2e_restart.sh
+
+## e2e-cluster: the cluster-mode proof (3 nodes behind `slimfast
+## router`, kill -9 one member mid-stream, restore, byte-compare the
+## merged /estimates and /sources against a single-node reference)
+e2e-cluster:
+	./scripts/e2e_cluster.sh
+
+## linkcheck: offline markdown link + anchor check over README.md and
+## docs/ (the CI docs gate; no network)
+linkcheck:
+	./scripts/linkcheck.sh

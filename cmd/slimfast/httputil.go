@@ -1,0 +1,92 @@
+// HTTP plumbing shared by the node server (serve.go) and the cluster
+// router (router.go): JSON responses, panic recovery, and the claim
+// body parser both ingest surfaces accept.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strings"
+
+	"slimfast/internal/data"
+	"slimfast/internal/resilience"
+)
+
+// writeJSONTo writes a JSON response; encode/write failures (a client
+// that hung up mid-response) are logged, not dropped.
+func writeJSONTo(w http.ResponseWriter, logw io.Writer, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		fmt.Fprintf(logw, "# WARNING: writing JSON response: %v\n", err)
+	}
+}
+
+// httpErrorTo writes the JSON error envelope every endpoint uses.
+func httpErrorTo(w http.ResponseWriter, logw io.Writer, code int, msg string) {
+	writeJSONTo(w, logw, code, map[string]any{"error": msg})
+}
+
+// recoverPanicsTo turns a handler panic into a logged 500 so one
+// poisoned request cannot take the connection (or a test binary) down
+// with it. net/http would swallow the panic per-connection anyway, but
+// silently and without a response.
+func recoverPanicsTo(logw io.Writer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				fmt.Fprintf(logw, "# PANIC %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				httpErrorTo(w, logw, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// seqKey extracts the client's idempotency key: the X-Batch-Seq
+// header, or the ?seq query parameter for header-less clients.
+func seqKey(r *http.Request) string {
+	if k := r.Header.Get(resilience.SeqHeader); k != "" {
+		return k
+	}
+	return r.URL.Query().Get("seq")
+}
+
+// observation is one NDJSON ingest record.
+type observation struct {
+	Source string `json:"source"`
+	Object string `json:"object"`
+	Value  string `json:"value"`
+}
+
+// parseClaimBody streams an ingest body through add: text/csv bodies
+// use the source,object,value exchange format (header row optional),
+// anything else is parsed as NDJSON. On error, claims before the bad
+// row have already been delivered to add — the caller reports how many.
+func parseClaimBody(body []byte, contentType string, add func(source, object, value string) error) error {
+	if strings.Contains(contentType, "csv") {
+		return data.StreamObservationsCSV(bytes.NewReader(body), add)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	row := 0
+	for {
+		var ob observation
+		if derr := dec.Decode(&ob); derr == io.EOF {
+			return nil
+		} else if derr != nil {
+			return fmt.Errorf("ndjson row %d: %w", row+1, derr)
+		}
+		row++
+		if aerr := add(ob.Source, ob.Object, ob.Value); aerr != nil {
+			return fmt.Errorf("ndjson row %d: %w", row, aerr)
+		}
+	}
+}
+
+// errEmptyClaimField is the shared validation failure for ingest rows.
+var errEmptyClaimField = errors.New("source, object and value must all be non-empty")

@@ -11,6 +11,8 @@
 //	         [-checkpoint state.ckpt] [-restore state.ckpt]
 //	slimfast stream -listen :8080 [-checkpoint state.ckpt] [-restore state.ckpt] [-batch N]
 //	slimfast replay [-obs observations.csv|-] -to http://host:port [-batch N] [-attempts N]
+//	slimfast router -nodes http://n1:8080,http://n2:8080 -listen :8080 \
+//	         [-batch N] [-epoch N] [-checkpoint-epochs N] [-manifest cluster.json]
 //
 // The observations CSV has a "source,object,value" header; features
 // "source,feature"; truth "object,value". With -json, a single document
@@ -32,6 +34,13 @@
 // path, and -restore resumes from one — bit-identically, so a
 // restarted server converges to exactly the state of one that never
 // stopped. See the README's Operations section.
+//
+// The router subcommand turns N serving nodes into one cluster:
+// objects are consistently hash-partitioned across the nodes, ingest
+// fans out with per-node idempotency keys, and the router coordinates
+// cluster-wide accuracy epochs, refines and checkpoints so the merged
+// estimates are bit-identical to a single engine. See the README's
+// Cluster section and docs/ARCHITECTURE.md.
 package main
 
 import (
@@ -59,6 +68,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "replay" {
 		return runReplay(args[1:], os.Stdin, stdout)
+	}
+	if len(args) > 0 && args[0] == "router" {
+		return runRouter(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("slimfast", flag.ContinueOnError)
 	obsPath := fs.String("obs", "", "observations CSV (source,object,value)")

@@ -1,0 +1,279 @@
+// The `slimfast router` subcommand: the cluster coordinator that
+// scales the streaming engine across machines. It partitions objects
+// over N `slimfast stream -listen -external-epochs` nodes with the
+// engine's own shard hash, fans ingest out through the retrying
+// resilience client, drives cluster-wide epoch barriers and refines
+// over the nodes' /epoch endpoints, and serves the same HTTP surface
+// a single node does — so clients cannot tell a cluster from one big
+// engine, and the merged /estimates and /sources bytes are
+// bit-identical to a single-node run over the same claim stream (see
+// internal/cluster for the protocol and its invariants).
+//
+// Endpoints:
+//
+//	POST /observe     ingest claims (NDJSON or CSV), fanned out by partition;
+//	                  idempotent when stamped with X-Batch-Seq
+//	GET  /estimates   cluster-wide MAP estimates as CSV (merged, header once)
+//	GET  /sources     cluster-wide source accuracies as CSV (union, sorted)
+//	POST /refine      cluster-wide exact re-sweep (?sweeps=N, default 2)
+//	POST /checkpoint  checkpoint every node, then write the router manifest
+//	GET  /healthz     per-partition liveness; always 200 while the router is up
+//	GET  /readyz      readiness: degrades per partition, 503 when no node answers
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"slimfast/internal/cluster"
+	"slimfast/internal/resilience"
+	"slimfast/internal/stream"
+)
+
+// runRouter implements `slimfast router`.
+func runRouter(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("slimfast router", flag.ContinueOnError)
+	nodesFlag := fs.String("nodes", "", "comma-separated member base URLs in partition order (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080); members must run `stream -listen -external-epochs`")
+	listen := fs.String("listen", "", "serve the cluster HTTP API on this address (e.g. :8080)")
+	batch := fs.Int("batch", 1024, "claims per fan-out chunk; must match across router restarts (barriers land on chunk boundaries)")
+	epoch := fs.Int("epoch", 1024, "claims per cluster-wide accuracy epoch")
+	decay := fs.Float64("decay", 1, "per-observation evidence decay in (0,1]; must match the members' -decay")
+	ckptEpochs := fs.Int("checkpoint-epochs", 1, "checkpoint the whole cluster every N barriers (0 = only on demand and at shutdown)")
+	manifest := fs.String("manifest", "", "router manifest path: cluster-cumulative state, written atomically at checkpoints and shutdown, restored at boot")
+	attempts := fs.Int("attempts", 5, "delivery attempts per node request before the operation fails")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt node request timeout")
+	seed := fs.Int64("seed", 1, "backoff jitter seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodesFlag == "" {
+		return fmt.Errorf("router: -nodes is required")
+	}
+	if *listen == "" {
+		return fmt.Errorf("router: -listen is required")
+	}
+	var nodes []string
+	for _, n := range strings.Split(*nodesFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	opts := stream.DefaultOptions()
+	opts.Decay = *decay
+	rt, err := cluster.New(cluster.Config{
+		Nodes:            nodes,
+		Batch:            *batch,
+		EpochLength:      *epoch,
+		Opts:             opts,
+		CheckpointEpochs: *ckptEpochs,
+		ManifestPath:     *manifest,
+		HTTP:             &http.Client{},
+		Retry: resilience.ClientConfig{
+			MaxAttempts:   *attempts,
+			PerTryTimeout: *timeout,
+			Seed:          *seed,
+		},
+		Log: stdout,
+	})
+	if err != nil {
+		return err
+	}
+	return serveRouter(rt, *listen, stdout)
+}
+
+// routerServer wires the cluster router to the HTTP handlers.
+type routerServer struct {
+	rt   *cluster.Router
+	logw io.Writer
+}
+
+func (s *routerServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /observe", s.handleObserve)
+	mux.HandleFunc("GET /estimates", s.handleEstimates)
+	mux.HandleFunc("GET /sources", s.handleSources)
+	mux.HandleFunc("POST /refine", s.handleRefine)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return recoverPanicsTo(s.logw, mux)
+}
+
+// handleObserve parses a claim body exactly like a member node and
+// fans it out. A fan-out failure (a partition down past the retry
+// policy) answers 503 + Retry-After: the claims are not lost — the
+// replay client redelivers under the same key, chunks the cluster
+// already completed dedup, and the failed partition catches up.
+func (s *routerServer) handleObserve(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpErrorTo(w, s.logw, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("observe: body exceeds %d bytes; split the stream into smaller requests", tooBig.Limit))
+			return
+		}
+		httpErrorTo(w, s.logw, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
+		return
+	}
+	var claims []stream.Triple
+	err = parseClaimBody(body, r.Header.Get("Content-Type"), func(source, object, value string) error {
+		if source == "" || object == "" || value == "" {
+			return errEmptyClaimField
+		}
+		claims = append(claims, stream.Triple{Source: source, Object: object, Value: value})
+		return nil
+	})
+	if err != nil {
+		// Unlike a member node, nothing was forwarded yet: the router
+		// parses the whole body before fan-out, so a bad row rejects the
+		// request atomically.
+		httpErrorTo(w, s.logw, http.StatusBadRequest, fmt.Sprintf("observe: %v", err))
+		return
+	}
+	res, err := s.rt.Ingest(r.Context(), claims, seqKey(r))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSONTo(w, s.logw, http.StatusOK, res)
+}
+
+func (s *routerServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	s.serveCSV(w, s.rt.Estimates)
+}
+
+func (s *routerServer) handleSources(w http.ResponseWriter, r *http.Request) {
+	s.serveCSV(w, s.rt.Sources)
+}
+
+// serveCSV buffers the scatter-gather merge so a partition failure
+// mid-gather becomes a clean 503 instead of a truncated 200.
+func (s *routerServer) serveCSV(w http.ResponseWriter, gather func(context.Context, io.Writer) error) {
+	var buf strings.Builder
+	if err := gather(context.Background(), &buf); err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if _, err := io.WriteString(w, buf.String()); err != nil {
+		fmt.Fprintf(s.logw, "# WARNING: writing CSV response: %v\n", err)
+	}
+}
+
+func (s *routerServer) handleRefine(w http.ResponseWriter, r *http.Request) {
+	sweeps := 2
+	if q := r.URL.Query().Get("sweeps"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > maxRefineSweeps {
+			httpErrorTo(w, s.logw, http.StatusBadRequest,
+				fmt.Sprintf("refine: sweeps must be an integer in [1,%d], got %q", maxRefineSweeps, q))
+			return
+		}
+		sweeps = n
+	}
+	barriers, err := s.rt.Refine(r.Context(), sweeps)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSONTo(w, s.logw, http.StatusOK, map[string]any{"sweeps": sweeps, "barriers": barriers})
+}
+
+func (s *routerServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.rt.Checkpoint(r.Context()); err != nil {
+		httpErrorTo(w, s.logw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSONTo(w, s.logw, http.StatusOK, map[string]any{"stats": s.rt.Stats()})
+}
+
+// handleHealthz always answers 200 while the router process is up;
+// the per-partition detail carries each member's own /healthz.
+func (s *routerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, nodes := s.rt.Health(r.Context())
+	writeJSONTo(w, s.logw, http.StatusOK, map[string]any{
+		"status": status,
+		"router": s.rt.Stats(),
+		"nodes":  nodes,
+	})
+}
+
+// handleReadyz degrades per partition: 200 "ready" when every member
+// can take load, 200 "degraded" naming the dark partitions while the
+// rest still serve, and 503 only when no member answers.
+func (s *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status, nodes := s.rt.Ready(r.Context())
+	var down []int
+	for _, n := range nodes {
+		if !n.OK {
+			down = append(down, n.Partition)
+		}
+	}
+	body := map[string]any{"status": status, "nodes": nodes}
+	if len(down) > 0 {
+		body["down_partitions"] = down
+	}
+	code := http.StatusOK
+	if status == "unavailable" {
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
+	}
+	writeJSONTo(w, s.logw, code, body)
+}
+
+// serveRouter runs the router HTTP service until SIGTERM/SIGINT, then
+// writes a final manifest so a restarted router resumes exactly here.
+func serveRouter(rt *cluster.Router, addr string, stdout io.Writer) error {
+	s := &routerServer{rt: rt, logw: stdout}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Machine-readable on purpose, like the node server: with
+	// -listen :0 it is how scripts discover the port.
+	fmt.Fprintf(stdout, "# listening on %s\n", ln.Addr())
+	fmt.Fprintf(stdout, "# routing %d partitions\n", len(rt.Nodes()))
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	var shutdownErr error
+	select {
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(stdout, "# signal received, draining connections\n")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		shutdownErr = srv.Shutdown(shutCtx)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			shutdownErr = err
+		}
+	}
+	if err := rt.WriteManifest(); err != nil {
+		return errors.Join(shutdownErr, err)
+	}
+	st := rt.Stats()
+	fmt.Fprintf(stdout, "# shutdown: %d claims routed, %d barriers\n", st.Claims, st.Barriers)
+	return shutdownErr
+}

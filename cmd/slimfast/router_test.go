@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"slimfast/internal/cluster"
+	"slimfast/internal/resilience"
+	"slimfast/internal/stream"
+)
+
+// goldenClaims builds a deterministic workload with real disagreement:
+// eight sources over 120 objects, where source s7 is a contrarian and
+// every (o+s)%11 claim dissents, so accuracies move at every epoch.
+func goldenClaims() []stream.Triple {
+	var out []stream.Triple
+	for o := 0; o < 120; o++ {
+		obj := fmt.Sprintf("obj%03d", o)
+		for s := 0; s < 8; s++ {
+			val := fmt.Sprintf("t%d", o%7)
+			if s == 7 || (o+s)%11 == 0 {
+				val = fmt.Sprintf("w%d", (o+s)%5)
+			}
+			out = append(out, stream.Triple{Source: fmt.Sprintf("s%d", s), Object: obj, Value: val})
+		}
+	}
+	return out
+}
+
+func ndjsonFromTriples(claims []stream.Triple) string {
+	var sb strings.Builder
+	for _, tr := range claims {
+		fmt.Fprintf(&sb, "{\"source\":%q,\"object\":%q,\"value\":%q}\n", tr.Source, tr.Object, tr.Value)
+	}
+	return sb.String()
+}
+
+// newGoldenCluster starts nodes member engines behind real node
+// handlers plus a router over them, mirroring the reference geometry:
+// one single-shard externally-coordinated member per reference shard.
+func newGoldenCluster(t *testing.T, nodes, batch, epochLen int) *routerServer {
+	t.Helper()
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		opts := stream.DefaultEngineOptions()
+		opts.Shards = 1
+		opts.EpochLength = stream.ExternalEpochLength
+		eng, err := stream.NewEngine(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(testServer(eng, "", batch).handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	rt, err := cluster.New(cluster.Config{
+		Nodes:       urls,
+		Batch:       batch,
+		EpochLength: epochLen,
+		Retry:       resilience.ClientConfig{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &routerServer{rt: rt, logw: io.Discard}
+}
+
+// TestRouterGoldenEquivalence is the tentpole's proof at the HTTP
+// layer: a three-node cluster driven entirely through the router's
+// public surface produces byte-identical /estimates and /sources to a
+// single three-shard engine fed the same claim stream in the same
+// chunks — after ingest with epoch barriers, and again after a
+// cluster-wide refine.
+func TestRouterGoldenEquivalence(t *testing.T) {
+	const nodes, batch, epochLen = 3, 32, 64
+	claims := goldenClaims()
+
+	refOpts := stream.DefaultEngineOptions()
+	refOpts.Shards = nodes
+	refOpts.EpochLength = epochLen
+	ref, err := stream.NewEngine(refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(claims); lo += batch {
+		hi := min(lo+batch, len(claims))
+		ref.ObserveBatch(claims[lo:hi])
+	}
+
+	rs := newGoldenCluster(t, nodes, batch, epochLen)
+	rec := doReq(t, rs.handler(), http.MethodPost, "/observe?seq=golden", "application/x-ndjson", ndjsonFromTriples(claims))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("observe: %d %s", rec.Code, rec.Body)
+	}
+
+	refCSV := func(emit func(w *bytes.Buffer) error) string {
+		var buf bytes.Buffer
+		if err := emit(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	wantEst := refCSV(func(w *bytes.Buffer) error { return writeEstimatesCSV(w, ref) })
+	wantSrc := refCSV(func(w *bytes.Buffer) error { return writeSourceAccuraciesCSV(w, ref) })
+
+	gotEst := doReq(t, rs.handler(), http.MethodGet, "/estimates", "", "")
+	if gotEst.Code != http.StatusOK || gotEst.Body.String() != wantEst {
+		t.Fatalf("cluster /estimates diverged from the single engine\ncluster:\n%s\nreference:\n%s", gotEst.Body, wantEst)
+	}
+	gotSrc := doReq(t, rs.handler(), http.MethodGet, "/sources", "", "")
+	if gotSrc.Code != http.StatusOK || gotSrc.Body.String() != wantSrc {
+		t.Fatalf("cluster /sources diverged from the single engine\ncluster:\n%s\nreference:\n%s", gotSrc.Body, wantSrc)
+	}
+
+	// The distributed refine must land on the same fixed point.
+	ref.Refine(2)
+	if rec := doReq(t, rs.handler(), http.MethodPost, "/refine?sweeps=2", "", ""); rec.Code != http.StatusOK {
+		t.Fatalf("refine: %d %s", rec.Code, rec.Body)
+	}
+	wantEst = refCSV(func(w *bytes.Buffer) error { return writeEstimatesCSV(w, ref) })
+	wantSrc = refCSV(func(w *bytes.Buffer) error { return writeSourceAccuraciesCSV(w, ref) })
+	if got := doReq(t, rs.handler(), http.MethodGet, "/estimates", "", ""); got.Body.String() != wantEst {
+		t.Fatalf("post-refine /estimates diverged\ncluster:\n%s\nreference:\n%s", got.Body, wantEst)
+	}
+	if got := doReq(t, rs.handler(), http.MethodGet, "/sources", "", ""); got.Body.String() != wantSrc {
+		t.Fatalf("post-refine /sources diverged\ncluster:\n%s\nreference:\n%s", got.Body, wantSrc)
+	}
+
+	// A full re-delivery of the same request must change nothing: the
+	// router re-forwards every chunk (node dedup absorbs them) and the
+	// cluster bytes stay put.
+	if rec := doReq(t, rs.handler(), http.MethodPost, "/observe?seq=golden", "application/x-ndjson", ndjsonFromTriples(claims)); rec.Code != http.StatusOK {
+		t.Fatalf("re-observe: %d %s", rec.Code, rec.Body)
+	}
+	if got := doReq(t, rs.handler(), http.MethodGet, "/estimates", "", ""); got.Body.String() != wantEst {
+		t.Fatal("re-delivered request changed the cluster estimates")
+	}
+}
+
+// TestRouterHTTPSurface covers the router's error contract: bad rows
+// reject atomically, refine validates sweeps, health endpoints answer.
+func TestRouterHTTPSurface(t *testing.T) {
+	rs := newGoldenCluster(t, 2, 8, 16)
+	h := rs.handler()
+
+	if rec := doReq(t, h, http.MethodPost, "/observe", "application/x-ndjson", `{"source":"","object":"o","value":"v"}`+"\n"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty source accepted: %d %s", rec.Code, rec.Body)
+	}
+	if rec := doReq(t, h, http.MethodPost, "/refine?sweeps=0", "", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("sweeps=0 accepted: %d", rec.Code)
+	}
+	if rec := doReq(t, h, http.MethodPost, "/observe", "text/csv", "source,object,value\na,o1,v\nb,o2,v\n"); rec.Code != http.StatusOK {
+		t.Fatalf("csv observe: %d %s", rec.Code, rec.Body)
+	}
+	if rec := doReq(t, h, http.MethodGet, "/healthz", "", ""); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body)
+	}
+	if rec := doReq(t, h, http.MethodGet, "/readyz", "", ""); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ready"`) {
+		t.Fatalf("readyz: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestRouterRefusesMemberRefine: a member running -external-epochs
+// must 409 a direct /refine — only the router may move the cluster's
+// σ-table.
+func TestRouterRefusesMemberRefine(t *testing.T) {
+	opts := stream.DefaultEngineOptions()
+	opts.Shards = 1
+	opts.EpochLength = stream.ExternalEpochLength
+	eng, err := stream.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := testServer(eng, "", 8).handler()
+	if rec := doReq(t, h, http.MethodPost, "/refine", "", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("member refine: %d, want 409", rec.Code)
+	}
+}

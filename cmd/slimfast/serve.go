@@ -15,6 +15,16 @@
 //	POST /checkpoint  write a checkpoint generation to the -checkpoint path
 //	GET  /healthz     liveness + engine stats as JSON
 //	GET  /readyz      readiness: 503 + Retry-After under admission pressure
+//	POST /epoch/drain cluster control plane: drain settled evidence deltas
+//	POST /epoch/mass  cluster control plane: exact refine mass
+//	POST /epoch/apply cluster control plane: install a pushed σ-table
+//
+// The three /epoch endpoints are the member half of cluster mode (see
+// internal/cluster and `slimfast router`): idempotent by coordinator
+// tag, serialized on the ingest lock, and refused (409) by engines
+// running the online learner. On a member started with
+// -external-epochs, POST /refine is refused (409) — the router
+// coordinates cluster-wide refines.
 //
 // Ingest requests are serialized: for a fixed sequence of /observe
 // bodies the engine state (and so the /estimates bytes) is identical
@@ -40,13 +50,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime/debug"
 	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"slimfast/internal/data"
 	"slimfast/internal/resilience"
 	"slimfast/internal/stream"
 )
@@ -88,6 +95,21 @@ type streamServer struct {
 	// reproduces the same engine state and checkpoints land on request
 	// boundaries.
 	lock chan struct{}
+
+	// Single-entry response caches for the /epoch coordination
+	// endpoints, keyed by the router's barrier tag and guarded by the
+	// ingest lock. Draining is destructive, so a router retry whose
+	// first response was lost must get the cached drain back instead of
+	// draining (now-empty) vectors a second time.
+	drainCache epochCache
+	massCache  epochCache
+	applyCache epochCache
+}
+
+// epochCache replays the response of an idempotent-by-tag exchange.
+type epochCache struct {
+	tag  string
+	resp any
 }
 
 func newStreamServer(eng *stream.Engine, cfg serveConfig, logw io.Writer) *streamServer {
@@ -133,23 +155,10 @@ func (s *streamServer) handler() http.Handler {
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	return s.recoverPanics(mux)
-}
-
-// recoverPanics turns a handler panic into a logged 500 so one
-// poisoned request cannot take the connection (or a test binary)
-// down with it. net/http would swallow the panic per-connection
-// anyway, but silently and without a response.
-func (s *streamServer) recoverPanics(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if rec := recover(); rec != nil {
-				fmt.Fprintf(s.logw, "# PANIC %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				s.httpError(w, http.StatusInternalServerError, "internal error")
-			}
-		}()
-		next.ServeHTTP(w, r)
-	})
+	mux.HandleFunc("POST /epoch/drain", s.handleEpochDrain)
+	mux.HandleFunc("POST /epoch/mass", s.handleEpochMass)
+	mux.HandleFunc("POST /epoch/apply", s.handleEpochApply)
+	return recoverPanicsTo(s.logw, mux)
 }
 
 // requestContext derives the deadline-bounded context for one request
@@ -159,13 +168,6 @@ func (s *streamServer) requestContext(r *http.Request) (context.Context, context
 		return r.Context(), func() {}
 	}
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-}
-
-// observation is one NDJSON ingest record.
-type observation struct {
-	Source string `json:"source"`
-	Object string `json:"object"`
-	Value  string `json:"value"`
 }
 
 // maxObserveBody caps one /observe request at 256 MiB: large enough
@@ -179,15 +181,6 @@ const maxObserveBody = 256 << 20
 func (s *streamServer) shed(w http.ResponseWriter, msg string) {
 	w.Header().Set("Retry-After", "1")
 	s.httpError(w, http.StatusTooManyRequests, msg)
-}
-
-// seqKey extracts the client's idempotency key: the X-Batch-Seq
-// header, or the ?seq query parameter for header-less clients.
-func seqKey(r *http.Request) string {
-	if k := r.Header.Get(resilience.SeqHeader); k != "" {
-		return k
-	}
-	return r.URL.Query().Get("seq")
 }
 
 // handleObserve ingests a claim body. text/csv bodies use the
@@ -282,37 +275,16 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 			buf = buf[:0]
 		}
 	}
-	add := func(source, object, value string) error {
+	err = parseClaimBody(body, r.Header.Get("Content-Type"), func(source, object, value string) error {
 		if source == "" || object == "" || value == "" {
-			return errors.New("source, object and value must all be non-empty")
+			return errEmptyClaimField
 		}
 		buf = append(buf, stream.Triple{Source: source, Object: object, Value: value})
 		if len(buf) == cap(buf) {
 			flush()
 		}
 		return nil
-	}
-
-	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
-		err = data.StreamObservationsCSV(bytes.NewReader(body), add)
-	} else {
-		dec := json.NewDecoder(bytes.NewReader(body))
-		row := 0
-		for {
-			var ob observation
-			if derr := dec.Decode(&ob); derr == io.EOF {
-				break
-			} else if derr != nil {
-				err = fmt.Errorf("ndjson row %d: %w", row+1, derr)
-				break
-			}
-			row++
-			if aerr := add(ob.Source, ob.Object, ob.Value); aerr != nil {
-				err = fmt.Errorf("ndjson row %d: %w", row, aerr)
-				break
-			}
-		}
-	}
+	})
 	flush()
 	if err != nil {
 		// Claims before the bad row are already ingested; report both.
@@ -391,6 +363,13 @@ const maxRefineSweeps = 64
 // refine storm therefore queues on the lock — with -request-timeout
 // set, the queue sheds itself with 503s instead of piling up.
 func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
+	if s.eng.ExternalEpochs() {
+		// A member-local refine would rebuild σ from this partition's
+		// mass alone and silently fork the cluster's accuracy state.
+		s.httpError(w, http.StatusConflict,
+			"refine: this node's epochs are externally coordinated (-external-epochs); POST /refine on the router")
+		return
+	}
 	sweeps := 2
 	if q := r.URL.Query().Get("sweeps"); q != "" {
 		n, err := strconv.Atoi(q)
@@ -489,18 +468,115 @@ func (s *streamServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, body)
 }
 
-// writeJSON writes a JSON response; encode/write failures (a client
-// that hung up mid-response) are logged, not dropped.
 func (s *streamServer) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		fmt.Fprintf(s.logw, "# WARNING: writing JSON response: %v\n", err)
-	}
+	writeJSONTo(w, s.logw, code, v)
 }
 
 func (s *streamServer) httpError(w http.ResponseWriter, code int, msg string) {
-	s.writeJSON(w, code, map[string]any{"error": msg})
+	httpErrorTo(w, s.logw, code, msg)
+}
+
+// epochRequest is the body of the /epoch coordination endpoints. Tag
+// is the coordinator's idempotency key for the exchange: a retried
+// request with the tag of the last completed exchange replays its
+// response without re-executing — draining is destructive, so this is
+// what makes a barrier safe to retry after a lost response.
+type epochRequest struct {
+	Tag        string                  `json:"tag"`
+	Accuracies []stream.SourceAccuracy `json:"accuracies,omitempty"`
+	Rescore    bool                    `json:"rescore,omitempty"`
+}
+
+// decodeEpochRequest reads and parses an /epoch request body.
+func (s *streamServer) decodeEpochRequest(w http.ResponseWriter, r *http.Request) (epochRequest, bool) {
+	var req epochRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("epoch: reading body: %v", err))
+		return req, false
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("epoch: parsing body: %v", err))
+			return req, false
+		}
+	}
+	return req, true
+}
+
+// runEpoch wraps one coordination exchange: take the ingest lock
+// (coordination moves are request-serialized like everything that
+// mutates the engine), replay the cached response when the tag
+// matches, otherwise execute and cache. Engines running the online
+// learner refuse with 409.
+func (s *streamServer) runEpoch(w http.ResponseWriter, r *http.Request, cache *epochCache, exec func(req epochRequest) (any, error)) {
+	req, ok := s.decodeEpochRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if !s.acquireIngest(ctx) {
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusServiceUnavailable,
+			"epoch: timed out waiting for the ingest lock; retry with backoff")
+		return
+	}
+	defer s.releaseIngest()
+	if req.Tag != "" && req.Tag == cache.tag {
+		s.writeJSON(w, http.StatusOK, cache.resp)
+		return
+	}
+	resp, err := exec(req)
+	switch {
+	case errors.Is(err, stream.ErrOnlineUnsupported):
+		s.httpError(w, http.StatusConflict, err.Error())
+		return
+	case err != nil:
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Tag != "" {
+		cache.tag, cache.resp = req.Tag, resp
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEpochDrain hands the coordinator this engine's settled
+// evidence deltas since the last drain — the cluster form of the
+// shard drain an epoch refresh starts with.
+func (s *streamServer) handleEpochDrain(w http.ResponseWriter, r *http.Request) {
+	s.runEpoch(w, r, &s.drainCache, func(req epochRequest) (any, error) {
+		stats, err := s.eng.DrainDeltas()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"tag": req.Tag, "sources": stats}, nil
+	})
+}
+
+// handleEpochMass hands the coordinator one Refine sweep's exact
+// per-source posterior mass (evicted base included).
+func (s *streamServer) handleEpochMass(w http.ResponseWriter, r *http.Request) {
+	s.runEpoch(w, r, &s.massCache, func(req epochRequest) (any, error) {
+		stats, err := s.eng.RefineMass()
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"tag": req.Tag, "sources": stats}, nil
+	})
+}
+
+// handleEpochApply installs the coordinator's merged accuracy table as
+// the new frozen σ-table; with "rescore" every live object is rescored
+// eagerly (the re-sweep half of a distributed Refine).
+func (s *streamServer) handleEpochApply(w http.ResponseWriter, r *http.Request) {
+	s.runEpoch(w, r, &s.applyCache, func(req epochRequest) (any, error) {
+		if err := s.eng.ApplyAccuracies(req.Accuracies, req.Rescore); err != nil {
+			return nil, err
+		}
+		return map[string]any{"tag": req.Tag, "epoch": s.eng.Stats().Epoch, "applied": len(req.Accuracies)}, nil
+	})
 }
 
 // checkpointLoop runs periodic background checkpointing: every tick

@@ -31,6 +31,7 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "object shards (0 = GOMAXPROCS)")
 	workers := fs.Int("workers", 0, "ingest/refine goroutines (0 = GOMAXPROCS)")
 	epoch := fs.Int("epoch", 0, "observations per accuracy epoch (0 = default)")
+	externalEpochs := fs.Bool("external-epochs", false, "cluster member mode: never refresh accuracies locally; epochs are driven by a router via the /epoch endpoints")
 	maxObjects := fs.Int("max-objects", 0, "bound live objects, LRU-evicting beyond (0 = unbounded)")
 	decay := fs.Float64("decay", 1, "per-observation evidence decay in (0,1]; 1 = never forget")
 	batch := fs.Int("batch", 1024, "claims per deterministic parallel ingest batch")
@@ -51,6 +52,15 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	window := fs.Int("window", 0, "drift window in epochs for the online learner (0 = default; needs -features)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *externalEpochs {
+		if *epoch != 0 {
+			return errors.New("-epoch and -external-epochs are mutually exclusive")
+		}
+		if *featPath != "" {
+			return errors.New("-features is not supported in cluster member mode (-external-epochs): the online σ-table cannot be coordinated remotely")
+		}
+		*epoch = stream.ExternalEpochLength
 	}
 
 	var eng *stream.Engine
@@ -83,6 +93,12 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 		} else {
 			fmt.Fprintf(stdout, "# WARNING: -features ignored: restored checkpoint has no online learner; delete %s (or checkpoint elsewhere) to enable it\n", *restorePath)
 		}
+	}
+	if eng != nil && *externalEpochs && !eng.ExternalEpochs() {
+		// Like -shards, the epoch length comes from the checkpoint; a
+		// node restored from a single-process checkpoint would keep
+		// refreshing locally and fork the cluster's accuracy state.
+		return fmt.Errorf("-external-epochs conflicts with the restored checkpoint (local epoch length %d); checkpoint elsewhere or drop the flag", eng.Stats().EpochLength)
 	}
 	if eng == nil {
 		opts := stream.DefaultEngineOptions()

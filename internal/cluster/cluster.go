@@ -1,0 +1,794 @@
+// Package cluster implements the consistent-hash scale-out router
+// behind `slimfast router`: one coordinator that partitions objects
+// across N `slimfast stream -listen` nodes and drives their epochs so
+// the cluster is bit-identical to a single N-shard engine fed the
+// same claim stream.
+//
+// The design is the engine's own in-process shard pattern lifted one
+// level up. A single engine partitions objects over shards with an
+// FNV-1a hash, drains per-shard evidence deltas in shard order, folds
+// them into one cumulative table, and freezes a new σ-table for the
+// next epoch. The router does exactly that across processes: objects
+// route to nodes with the same hash (stream.ShardIndex), ingest fans
+// out over the nodes' HTTP /observe surface through the retrying
+// resilience client, and at every epoch barrier the router drains all
+// nodes in fixed node order (POST /epoch/drain), folds the deltas
+// node-major — the same float accumulation order as a shard drain —
+// recomputes the accuracies, and pushes the merged σ-table back (POST
+// /epoch/apply). Refine is the same protocol over /epoch/mass with an
+// eager rescore. Because every float is folded in the same order a
+// single engine would fold it, the cluster's estimates and source
+// accuracies match the single engine bit for bit
+// (TestRouterGoldenEquivalence in cmd/slimfast pins this down).
+//
+// Exactly-once across retries and node restarts:
+//
+//   - Every fan-out chunk carries a derived idempotency key
+//     ("<seq>.c<chunk>.n<node>"), so node-level dedup collapses
+//     router retries.
+//   - Duplicate chunks are always re-forwarded but never re-counted:
+//     a node restored from its checkpoint needs the re-delivery (its
+//     dedup window was checkpointed with it, so lost claims re-ingest
+//     and already-applied ones are acknowledged without effect).
+//   - Coordination exchanges are idempotent by barrier tag: draining
+//     is destructive, so nodes replay the cached response of the last
+//     tag instead of re-draining when a barrier retries after a lost
+//     response.
+//   - A failed barrier stays pending and re-runs at the same position
+//     in the claim stream before any further chunk is forwarded —
+//     barrier position determines the σ history, so it must not
+//     drift under retries.
+//
+// The router's own durable state — cumulative per-source evidence,
+// counters, and the chunk dedup window — is a small JSON manifest
+// (see Manifest) written atomically beside the nodes' checkpoint
+// generations at every cluster checkpoint.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slimfast/internal/resilience"
+	"slimfast/internal/stream"
+)
+
+// Config assembles a Router.
+type Config struct {
+	// Nodes are the member base URLs ("http://host:port"). Their order
+	// is the partition order and must be stable across router restarts:
+	// object → node routing and the barrier fold order both key on it.
+	Nodes []string
+
+	// Batch is the fan-out chunk size in claims. Epoch barriers land on
+	// chunk boundaries, so Batch together with EpochLength fixes where
+	// in the claim stream the σ-table refreshes — the same role -batch
+	// plays for a single engine.
+	Batch int
+
+	// EpochLength is how many claims pass between accuracy barriers,
+	// cluster-wide (the single engine's -epoch).
+	EpochLength int
+
+	// Opts must match the streaming options the member nodes were
+	// started with; the router re-runs the engine's accuracy fold with
+	// them.
+	Opts stream.Options
+
+	// CheckpointEpochs triggers a cluster checkpoint (every node writes
+	// a generation, then the manifest is written) after this many
+	// barriers. 0 disables periodic checkpoints; the default 1 makes
+	// every barrier durable, which is what provably lossless node
+	// recovery wants.
+	CheckpointEpochs int
+
+	// ManifestPath is where the router persists its own state. Empty
+	// disables the manifest (the router then restarts cold).
+	ManifestPath string
+
+	// DedupWindow bounds the chunk-key dedup ring (default 4096,
+	// matching the nodes' request window).
+	DedupWindow int
+
+	// HTTP is the transport for all node traffic (nil =
+	// http.DefaultClient).
+	HTTP *http.Client
+
+	// Retry tunes the resilience client wrapped around every fan-out
+	// and coordination request.
+	Retry resilience.ClientConfig
+
+	// Log receives operational notes (nil = discard).
+	Log io.Writer
+}
+
+// Router coordinates a fixed set of member nodes. All mutating
+// operations serialize on one mutex — the cluster-level ingest lock,
+// mirroring the per-node request serialization — while health probes
+// read atomic counters and never block on in-flight work.
+type Router struct {
+	cfg    Config
+	client *resilience.Client
+	hc     *http.Client
+	log    io.Writer
+
+	mu    sync.Mutex
+	ix    map[string]int // source name -> index in names/agree/total
+	names []string
+	agree []float64 // cluster-cumulative settled evidence
+	total []float64
+	// pendingBarrier records that the claim stream crossed an epoch
+	// boundary but the barrier has not completed; it must run before
+	// any further chunk is forwarded.
+	pendingBarrier bool
+	since          int   // claims since the last barrier
+	claims         int64 // lifetime claims ingested (deduped)
+	barriers       int64 // completed epoch barriers
+	refines        int64 // completed refine operations
+	refineSweeps   int   // sweeps completed of an in-flight refine
+	seen           map[string]struct{}
+	ring           []string // chunk-key dedup ring, oldest at ringAt
+	ringAt         int
+
+	// Probe-visible mirrors of the counters above, updated under mu,
+	// read lock-free by Stats/Health/Ready.
+	statClaims   atomic.Int64
+	statBarriers atomic.Int64
+	statRefines  atomic.Int64
+	statSince    atomic.Int64
+	statSources  atomic.Int64
+}
+
+// New validates cfg, normalizes the node URLs, and — when a manifest
+// exists at cfg.ManifestPath — restores the router's state from it.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: at least one node is required")
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1024
+	}
+	if cfg.EpochLength < 1 {
+		cfg.EpochLength = 1024
+	}
+	if cfg.DedupWindow < 1 {
+		cfg.DedupWindow = 4096
+	}
+	if cfg.Opts == (stream.Options{}) {
+		cfg.Opts = stream.DefaultOptions()
+	}
+	if err := cfg.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	nodes := make([]string, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		n = strings.TrimRight(n, "/")
+		if n == "" {
+			return nil, fmt.Errorf("cluster: node %d has an empty address", i)
+		}
+		if !strings.Contains(n, "://") {
+			n = "http://" + n
+		}
+		nodes[i] = n
+	}
+	cfg.Nodes = nodes
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	r := &Router{
+		cfg:    cfg,
+		client: resilience.NewClient(hc, cfg.Retry),
+		hc:     hc,
+		log:    cfg.Log,
+		ix:     map[string]int{},
+		seen:   map[string]struct{}{},
+		ring:   make([]string, 0, cfg.DedupWindow),
+	}
+	if cfg.ManifestPath != "" {
+		if err := r.restoreManifest(cfg.ManifestPath); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Nodes returns the normalized member URLs in partition order.
+func (r *Router) Nodes() []string { return append([]string(nil), r.cfg.Nodes...) }
+
+// Partition reports which node an object routes to — the engine's own
+// FNV-1a shard routing, over nodes instead of shards.
+func (r *Router) Partition(object string) int {
+	return stream.ShardIndex(object, len(r.cfg.Nodes))
+}
+
+// internLocked returns the index for a source name, growing the
+// cumulative vectors for new names.
+func (r *Router) internLocked(name string) int {
+	if i, ok := r.ix[name]; ok {
+		return i
+	}
+	i := len(r.names)
+	r.ix[name] = i
+	r.names = append(r.names, name)
+	r.agree = append(r.agree, 0)
+	r.total = append(r.total, 0)
+	return i
+}
+
+// seenKey / markKey implement the bounded chunk-key dedup window.
+func (r *Router) seenKey(key string) bool {
+	_, ok := r.seen[key]
+	return ok
+}
+
+func (r *Router) markKey(key string) {
+	if _, ok := r.seen[key]; ok {
+		return
+	}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, key)
+	} else {
+		delete(r.seen, r.ring[r.ringAt])
+		r.ring[r.ringAt] = key
+		r.ringAt = (r.ringAt + 1) % len(r.ring)
+	}
+	r.seen[key] = struct{}{}
+}
+
+// syncStatsLocked refreshes the probe-visible counter mirrors.
+func (r *Router) syncStatsLocked() {
+	r.statClaims.Store(r.claims)
+	r.statBarriers.Store(r.barriers)
+	r.statRefines.Store(r.refines)
+	r.statSince.Store(int64(r.since))
+	r.statSources.Store(int64(len(r.names)))
+}
+
+// IngestResult reports one Ingest call's effect.
+type IngestResult struct {
+	// Ingested counts claims newly forwarded and counted (claims in
+	// chunks the router had already completed are excluded).
+	Ingested int64 `json:"ingested"`
+	// DedupedChunks counts chunks that were re-forwarded for node-side
+	// dedup but not re-counted.
+	DedupedChunks int `json:"deduped_chunks,omitempty"`
+	// Claims is the cluster-lifetime deduplicated claim count.
+	Claims int64 `json:"claims"`
+	// Barriers is the completed epoch-barrier count.
+	Barriers int64 `json:"barriers"`
+}
+
+// Ingest partitions claims over the member nodes in Batch-sized
+// chunks and drives epoch barriers at the same positions in the claim
+// stream a single engine's refresh would fire. seq is the request's
+// idempotency key ("" = no dedup): each chunk derives a stable key
+// from it, so a retried request re-forwards every chunk (nodes dedup
+// individually — a node restored from checkpoint needs the replay)
+// without double-counting claims or re-running barriers.
+func (r *Router) Ingest(ctx context.Context, claims []stream.Triple, seq string) (IngestResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	defer r.syncStatsLocked()
+	var res IngestResult
+	chunk := 0
+	for lo := 0; lo < len(claims); lo += r.cfg.Batch {
+		// A barrier left pending by an earlier failure must complete at
+		// its position in the stream before any new claim passes it.
+		if err := r.flushBarrierLocked(ctx); err != nil {
+			return res, err
+		}
+		hi := min(lo+r.cfg.Batch, len(claims))
+		part := claims[lo:hi]
+		key := ""
+		if seq != "" {
+			key = seq + ".c" + strconv.Itoa(chunk)
+		}
+		first := key == "" || !r.seenKey(key)
+		if err := r.forwardLocked(ctx, part, key); err != nil {
+			return res, err
+		}
+		if first {
+			// The chunk is marked complete before its barrier runs: the
+			// claims are on the nodes and counted, so a retry must skip
+			// straight to the pending barrier instead of re-counting.
+			if key != "" {
+				r.markKey(key)
+			}
+			r.claims += int64(len(part))
+			r.since += len(part)
+			res.Ingested += int64(len(part))
+			if r.since >= r.cfg.EpochLength {
+				r.pendingBarrier = true
+			}
+		} else {
+			res.DedupedChunks++
+		}
+		chunk++
+	}
+	if err := r.flushBarrierLocked(ctx); err != nil {
+		return res, err
+	}
+	res.Claims = r.claims
+	res.Barriers = r.barriers
+	return res, nil
+}
+
+// ndjsonRecord is one forwarded claim.
+type ndjsonRecord struct {
+	Source string `json:"source"`
+	Object string `json:"object"`
+	Value  string `json:"value"`
+}
+
+// forwardLocked fans one chunk out to the nodes owning its objects.
+func (r *Router) forwardLocked(ctx context.Context, chunk []stream.Triple, key string) error {
+	n := len(r.cfg.Nodes)
+	bufs := make([]bytes.Buffer, n)
+	for _, tr := range chunk {
+		j := stream.ShardIndex(tr.Object, n)
+		if err := json.NewEncoder(&bufs[j]).Encode(ndjsonRecord{tr.Source, tr.Object, tr.Value}); err != nil {
+			return fmt.Errorf("cluster: encoding claim: %w", err)
+		}
+	}
+	for j, node := range r.cfg.Nodes {
+		if bufs[j].Len() == 0 {
+			continue
+		}
+		nodeKey := ""
+		if key != "" {
+			nodeKey = key + ".n" + strconv.Itoa(j)
+		}
+		if _, err := r.post(ctx, node+"/observe", "application/x-ndjson", nodeKey, bufs[j].Bytes()); err != nil {
+			return fmt.Errorf("cluster: partition %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// epochRequest / epochResponse are the node coordination exchange
+// bodies (the server half lives in cmd/slimfast's /epoch handlers).
+type epochRequest struct {
+	Tag        string                  `json:"tag"`
+	Accuracies []stream.SourceAccuracy `json:"accuracies,omitempty"`
+	Rescore    bool                    `json:"rescore,omitempty"`
+}
+
+type epochResponse struct {
+	Tag     string              `json:"tag"`
+	Sources []stream.SourceStat `json:"sources"`
+}
+
+// flushBarrierLocked completes a pending epoch barrier, if any.
+func (r *Router) flushBarrierLocked(ctx context.Context) error {
+	if !r.pendingBarrier {
+		return nil
+	}
+	if err := r.barrierLocked(ctx); err != nil {
+		return fmt.Errorf("cluster: epoch barrier %d: %w", r.barriers+1, err)
+	}
+	return nil
+}
+
+// barrierLocked runs one cluster epoch: drain every node in node
+// order, fold the deltas node-major (the same accumulation order a
+// single engine's shard drain uses), recompute the accuracies against
+// the cluster-cumulative evidence, and push the merged σ-table back.
+// The cumulative state commits only after every node accepted the
+// apply, so a partial failure retried under the same tag folds the
+// very same (cached) drains and cannot double-count.
+func (r *Router) barrierLocked(ctx context.Context) error {
+	tag := "e" + strconv.FormatInt(r.barriers+1, 10)
+	delta := make([]float64, len(r.names), len(r.names)+16)
+	dtot := make([]float64, len(r.names), len(r.names)+16)
+	obs := make([]int64, len(r.names), len(r.names)+16)
+	for _, node := range r.cfg.Nodes {
+		var resp epochResponse
+		if err := r.postEpoch(ctx, node, "/epoch/drain", epochRequest{Tag: tag}, &resp); err != nil {
+			return err
+		}
+		for _, st := range resp.Sources {
+			i := r.internLocked(st.Source)
+			for len(delta) < len(r.names) {
+				delta = append(delta, 0)
+				dtot = append(dtot, 0)
+				obs = append(obs, 0)
+			}
+			delta[i] += st.Agree
+			dtot[i] += st.Total
+			obs[i] += st.Observations
+		}
+	}
+	// Fold into scratch first; the cumulative table is replaced only
+	// once the apply landed everywhere.
+	newAgree := append([]float64(nil), r.agree...)
+	newTotal := append([]float64(nil), r.total...)
+	accs := make([]stream.SourceAccuracy, len(r.names))
+	for s := range r.names {
+		if r.cfg.Opts.Decay < 1 && obs[s] > 0 {
+			d := math.Pow(r.cfg.Opts.Decay, float64(obs[s]))
+			newAgree[s] *= d
+			newTotal[s] *= d
+		}
+		newAgree[s] += delta[s]
+		newTotal[s] += dtot[s]
+		if newAgree[s] < 0 {
+			newAgree[s] = 0
+		}
+		accs[s] = stream.SourceAccuracy{Source: r.names[s], Accuracy: r.cfg.Opts.EstimateAccuracy(newAgree[s], newTotal[s])}
+	}
+	for _, node := range r.cfg.Nodes {
+		if err := r.postEpoch(ctx, node, "/epoch/apply", epochRequest{Tag: tag, Accuracies: accs}, nil); err != nil {
+			return err
+		}
+	}
+	r.agree, r.total = newAgree, newTotal
+	r.barriers++
+	// The barrier is complete before the checkpoint below snapshots the
+	// manifest — a restore must not re-run it.
+	r.pendingBarrier = false
+	r.since = 0
+	if r.cfg.CheckpointEpochs > 0 && r.barriers%int64(r.cfg.CheckpointEpochs) == 0 {
+		// Durability must not fail the barrier the cluster state already
+		// committed; a missed generation is a warning, and the next
+		// checkpoint (or shutdown) covers it.
+		if err := r.checkpointLocked(ctx); err != nil {
+			fmt.Fprintf(r.log, "# WARNING: cluster checkpoint after barrier %d failed: %v\n", r.barriers, err)
+		}
+	}
+	return nil
+}
+
+// Refine drives the distributed exact re-sweep: per sweep, every node
+// recomputes its partition's refine mass under the current posteriors
+// (POST /epoch/mass), the router pools the masses node-major and
+// re-anchors its cumulative evidence on the pool, and the new σ-table
+// is pushed back with an eager rescore. Sweep progress is tracked so
+// a retry after a partial failure resumes at the failed sweep with
+// the same tag — never re-gathering an earlier sweep's mass under
+// posteriors a later apply already moved.
+func (r *Router) Refine(ctx context.Context, sweeps int) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	defer r.syncStatsLocked()
+	if err := r.flushBarrierLocked(ctx); err != nil {
+		return r.barriers, err
+	}
+	op := r.refines + 1
+	for sweep := r.refineSweeps; sweep < sweeps; sweep++ {
+		if err := r.refineSweepLocked(ctx, op, sweep); err != nil {
+			return r.barriers, fmt.Errorf("cluster: refine %d sweep %d: %w", op, sweep, err)
+		}
+		r.refineSweeps = sweep + 1
+	}
+	r.refines = op
+	r.refineSweeps = 0
+	return r.barriers, nil
+}
+
+func (r *Router) refineSweepLocked(ctx context.Context, op int64, sweep int) error {
+	tag := "r" + strconv.FormatInt(op, 10) + ".s" + strconv.Itoa(sweep)
+	mergedA := make([]float64, len(r.names), len(r.names)+16)
+	mergedT := make([]float64, len(r.names), len(r.names)+16)
+	rows := 0
+	for _, node := range r.cfg.Nodes {
+		var resp epochResponse
+		if err := r.postEpoch(ctx, node, "/epoch/mass", epochRequest{Tag: tag}, &resp); err != nil {
+			return err
+		}
+		rows += len(resp.Sources)
+		for _, st := range resp.Sources {
+			i := r.internLocked(st.Source)
+			for len(mergedA) < len(r.names) {
+				mergedA = append(mergedA, 0)
+				mergedT = append(mergedT, 0)
+			}
+			mergedA[i] += st.Agree
+			mergedT[i] += st.Total
+		}
+	}
+	if rows == 0 {
+		return nil
+	}
+	accs := make([]stream.SourceAccuracy, len(r.names))
+	for s := range r.names {
+		accs[s] = stream.SourceAccuracy{Source: r.names[s], Accuracy: r.cfg.Opts.EstimateAccuracy(mergedA[s], mergedT[s])}
+	}
+	for _, node := range r.cfg.Nodes {
+		if err := r.postEpoch(ctx, node, "/epoch/apply", epochRequest{Tag: tag, Accuracies: accs, Rescore: true}, nil); err != nil {
+			return err
+		}
+	}
+	r.agree, r.total = mergedA, mergedT
+	return nil
+}
+
+// estimatesHeader / sourcesHeader pin the node CSV surfaces the
+// merges below rely on; drift is an error, not silent corruption.
+const (
+	estimatesHeader = "object,value,confidence\n"
+	sourcesHeader   = "source,accuracy\n"
+)
+
+// Estimates scatter-gathers GET /estimates and writes the merged CSV:
+// node bodies concatenated in partition order with the header kept
+// once — exactly the shard-major order a single engine with one shard
+// per node emits, so the merged bytes match the single-engine output.
+func (r *Router) Estimates(ctx context.Context, w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, node := range r.cfg.Nodes {
+		body, err := r.get(ctx, node+"/estimates")
+		if err != nil {
+			return fmt.Errorf("cluster: partition %d estimates: %w", i, err)
+		}
+		if !bytes.HasPrefix(body, []byte(estimatesHeader)) {
+			return fmt.Errorf("cluster: partition %d returned an unexpected /estimates header", i)
+		}
+		if i > 0 {
+			body = body[len(estimatesHeader):]
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sources scatter-gathers GET /sources and writes the cluster-wide
+// accuracy table: the union of the node tables (every node holds the
+// full pushed σ-table, but interning order differs), globally sorted
+// — the same bytes a single engine's sorted emit produces. Rows are
+// merged verbatim, and a source reported with two different
+// accuracies is a protocol error (the apply push keeps them equal).
+func (r *Router) Sources(ctx context.Context, w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := map[string]string{}
+	for i, node := range r.cfg.Nodes {
+		body, err := r.get(ctx, node+"/sources")
+		if err != nil {
+			return fmt.Errorf("cluster: partition %d sources: %w", i, err)
+		}
+		if !bytes.HasPrefix(body, []byte(sourcesHeader)) {
+			return fmt.Errorf("cluster: partition %d returned an unexpected /sources header (online-learner nodes cannot join a cluster)", i)
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(body[len(sourcesHeader):]), "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			name, _, ok := strings.Cut(line, ",")
+			if !ok {
+				return fmt.Errorf("cluster: partition %d returned a malformed /sources row %q", i, line)
+			}
+			if prev, dup := rows[name]; dup && prev != line {
+				return fmt.Errorf("cluster: source %q diverged across partitions (%q vs %q)", name, prev, line)
+			}
+			rows[name] = line
+		}
+	}
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteString(sourcesHeader)
+	for _, name := range names {
+		buf.WriteString(rows[name])
+		buf.WriteByte('\n')
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Checkpoint makes the cluster durable on demand: every node writes a
+// checkpoint generation, then the router manifest is written.
+func (r *Router) Checkpoint(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.checkpointLocked(ctx)
+}
+
+func (r *Router) checkpointLocked(ctx context.Context) error {
+	for i, node := range r.cfg.Nodes {
+		if _, err := r.post(ctx, node+"/checkpoint", "", "", nil); err != nil {
+			return fmt.Errorf("cluster: partition %d checkpoint: %w", i, err)
+		}
+	}
+	if r.cfg.ManifestPath == "" {
+		return nil
+	}
+	if err := r.writeManifestLocked(); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.log, "# cluster manifest written to %s (%d claims, %d barriers)\n",
+		r.cfg.ManifestPath, r.claims, r.barriers)
+	return nil
+}
+
+// WriteManifest persists the router state (shutdown path).
+func (r *Router) WriteManifest() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.ManifestPath == "" {
+		return nil
+	}
+	return r.writeManifestLocked()
+}
+
+// Stats is the router's lock-free operational snapshot.
+type Stats struct {
+	Nodes      int   `json:"nodes"`
+	Claims     int64 `json:"claims"`
+	Barriers   int64 `json:"barriers"`
+	Refines    int64 `json:"refines"`
+	SinceEpoch int64 `json:"since_epoch"`
+	Sources    int64 `json:"sources"`
+}
+
+// Stats never blocks on in-flight ingest or barriers.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Nodes:      len(r.cfg.Nodes),
+		Claims:     r.statClaims.Load(),
+		Barriers:   r.statBarriers.Load(),
+		Refines:    r.statRefines.Load(),
+		SinceEpoch: r.statSince.Load(),
+		Sources:    r.statSources.Load(),
+	}
+}
+
+// NodeStatus is one member's view in a Health or Ready report.
+type NodeStatus struct {
+	Partition int             `json:"partition"`
+	Node      string          `json:"node"`
+	OK        bool            `json:"ok"`
+	Error     string          `json:"error,omitempty"`
+	Detail    json.RawMessage `json:"detail,omitempty"`
+}
+
+// probeTimeout bounds one health probe: probes must answer fast even
+// when a member hangs.
+const probeTimeout = 2 * time.Second
+
+// probe issues one non-retried GET (a liveness probe that retried
+// would report stale truth).
+func (r *Router) probe(ctx context.Context, partition int, url string) NodeStatus {
+	st := NodeStatus{Partition: partition, Node: url[:strings.LastIndex(url, "/")]}
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Valid(body) {
+		st.Detail = json.RawMessage(body)
+	}
+	if resp.StatusCode != http.StatusOK {
+		st.Error = "status " + strconv.Itoa(resp.StatusCode)
+		return st
+	}
+	st.OK = true
+	return st
+}
+
+// Health probes every node's /healthz. The cluster is "ok" when all
+// nodes answer, "degraded" otherwise; the per-partition detail says
+// which partitions are dark. Probes never take the router lock.
+func (r *Router) Health(ctx context.Context) (string, []NodeStatus) {
+	return r.probeAll(ctx, "/healthz")
+}
+
+// Ready probes every node's /readyz: "ready" when every partition can
+// take load, "degraded" when some can, "unavailable" when none can.
+func (r *Router) Ready(ctx context.Context) (string, []NodeStatus) {
+	status, nodes := r.probeAll(ctx, "/readyz")
+	if status == "ok" {
+		status = "ready"
+	}
+	return status, nodes
+}
+
+func (r *Router) probeAll(ctx context.Context, path string) (string, []NodeStatus) {
+	nodes := make([]NodeStatus, len(r.cfg.Nodes))
+	var wg sync.WaitGroup
+	for i, node := range r.cfg.Nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nodes[i] = r.probe(ctx, i, node+path)
+		}()
+	}
+	wg.Wait()
+	up := 0
+	for _, st := range nodes {
+		if st.OK {
+			up++
+		}
+	}
+	switch up {
+	case len(nodes):
+		return "ok", nodes
+	case 0:
+		return "unavailable", nodes
+	default:
+		return "degraded", nodes
+	}
+}
+
+// post issues one mutating node request through the retrying client
+// and fails on any non-2xx answer with the node's error text.
+func (r *Router) post(ctx context.Context, url, contentType, seq string, body []byte) ([]byte, error) {
+	resp, err := r.client.Post(ctx, url, contentType, seq, body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("%s: reading response: %w", url, rerr)
+	}
+	return data, nil
+}
+
+// postEpoch runs one idempotent-by-tag coordination exchange.
+func (r *Router) postEpoch(ctx context.Context, node, path string, req epochRequest, out *epochResponse) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	data, err := r.post(ctx, node+path, "application/json", "", body)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("%s%s: parsing response: %w", node, path, err)
+		}
+	}
+	return nil
+}
+
+// get issues one read through the retrying client.
+func (r *Router) get(ctx context.Context, url string) ([]byte, error) {
+	resp, err := r.client.Get(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("%s: reading response: %w", url, rerr)
+	}
+	return data, nil
+}

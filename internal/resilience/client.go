@@ -98,6 +98,18 @@ func retryAfter(resp *http.Response) time.Duration {
 // its body intact for the caller to consume. Once attempts or the
 // retry budget run out, the last failure is returned as an error.
 func (c *Client) Post(ctx context.Context, url, contentType, seq string, body []byte) (*http.Response, error) {
+	return c.do(ctx, http.MethodPost, url, contentType, seq, body)
+}
+
+// Get fetches url under the same retry policy as Post. GETs are
+// naturally idempotent, so no sequence key is stamped; the router
+// leans on this for scatter-gather reads against cluster members.
+func (c *Client) Get(ctx context.Context, url string) (*http.Response, error) {
+	return c.do(ctx, http.MethodGet, url, "", "", nil)
+}
+
+// do runs the shared retry loop around attempt.
+func (c *Client) do(ctx context.Context, method, url, contentType, seq string, body []byte) (*http.Response, error) {
 	bo := Backoff{
 		Base:   c.cfg.Backoff.Base,
 		Max:    c.cfg.Backoff.Max,
@@ -116,7 +128,7 @@ func (c *Client) Post(ctx context.Context, url, contentType, seq string, body []
 				c.retries.Add(1)
 			}
 		}
-		resp, err := c.post(ctx, url, contentType, seq, body)
+		resp, err := c.attempt(ctx, method, url, contentType, seq, body)
 		var ra time.Duration
 		switch {
 		case err != nil:
@@ -149,20 +161,26 @@ func (c *Client) Post(ctx context.Context, url, contentType, seq string, body []
 	return nil, fmt.Errorf("resilience: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// post runs one attempt. When a per-try deadline is configured, the
+// attempt runs one try. When a per-try deadline is configured, the
 // attempt context is released only once the response body is closed —
 // canceling earlier would kill the body read the caller still owns.
-func (c *Client) post(ctx context.Context, url, contentType, seq string, body []byte) (*http.Response, error) {
+func (c *Client) attempt(ctx context.Context, method, url, contentType, seq string, body []byte) (*http.Response, error) {
 	cancel := context.CancelFunc(func() {})
 	if c.cfg.PerTryTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.PerTryTimeout)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
-	req.Header.Set("Content-Type", contentType)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
 	if seq != "" {
 		req.Header.Set(SeqHeader, seq)
 	}

@@ -372,7 +372,7 @@ func fnvHash(s string) uint32 {
 
 // shardOf routes an object name to its shard.
 func (e *Engine) shardOf(object string) *shard {
-	return &e.shards[int(fnvHash(object))%e.nShards]
+	return &e.shards[ShardIndex(object, e.nShards)]
 }
 
 // lookupSource interns the source and returns its id, its frozen σ,
@@ -464,7 +464,7 @@ func (e *Engine) ObserveBatch(batch []Triple) {
 		tr := &batch[i]
 		sid, sigma, epoch := e.lookupSource(tr.Source)
 		res[i] = resolvedClaim{sid: sid, vid: e.lookupValue(tr.Value), sigma: sigma, epoch: epoch}
-		s := int(fnvHash(tr.Object)) % e.nShards
+		s := ShardIndex(tr.Object, e.nShards)
 		perShard[s] = append(perShard[s], i)
 	}
 	parallel.For(e.nShards, e.opts.Workers, func(s int) {
@@ -1196,6 +1196,7 @@ type EngineStats struct {
 	Objects        int // live objects
 	Observations   int64
 	Epoch          int64
+	EpochLength    int64 // observations per epoch; ExternalEpochLength in cluster member mode
 	EvictedObjects int64
 	EvictedClaims  int64
 	EvictedMass    float64 // posterior agreement mass retained from evicted objects
@@ -1203,7 +1204,7 @@ type EngineStats struct {
 
 // Stats snapshots the engine counters. Safe to call during ingest.
 func (e *Engine) Stats() EngineStats {
-	st := EngineStats{Shards: e.nShards, Observations: e.nObs.Load()}
+	st := EngineStats{Shards: e.nShards, Observations: e.nObs.Load(), EpochLength: e.epochLen}
 	e.src.mu.RLock()
 	st.Sources = len(e.src.names)
 	st.Epoch = e.src.epoch

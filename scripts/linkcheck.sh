@@ -1,0 +1,74 @@
+#!/bin/sh
+# linkcheck.sh — offline markdown link checker for README.md and the
+# docs/ tree. Pure shell + standard tools, no network: relative links
+# must resolve on disk, and anchor links (same-file or cross-file)
+# must match a heading slug in the target document. External http(s)
+# and mailto links are skipped — CI must not depend on the internet.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# slug STREAM — GitHub-style heading slugs: lowercase, drop anything
+# but alphanumerics/spaces/hyphens, spaces become hyphens.
+slugs() { # file
+	grep '^#' "$1" |
+		sed 's/^#*[[:space:]]*//' |
+		tr 'A-Z' 'a-z' |
+		sed 's/[^a-z0-9 -]//g; s/ /-/g'
+}
+
+check_file() { # file
+	f="$1"
+	dir="$(dirname "$f")"
+	# Inline links: [text](target). Reference-style links are not used
+	# in this repo.
+	grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/^.*](//; s/)$//' | while IFS= read -r link; do
+		case "$link" in
+		http://* | https://* | mailto:*) continue ;;
+		esac
+		target="${link%%#*}"
+		anchor=""
+		case "$link" in
+		*'#'*) anchor="${link#*#}" ;;
+		esac
+		if [ -n "$target" ]; then
+			path="$dir/$target"
+			if [ ! -e "$path" ]; then
+				echo "$f: broken link: ($link) -> $path does not exist"
+				echo bad >> "$FAILFLAG"
+				continue
+			fi
+		else
+			path="$f"
+		fi
+		if [ -n "$anchor" ]; then
+			case "$path" in
+			*.md)
+				if ! slugs "$path" | grep -qx "$anchor"; then
+					echo "$f: broken anchor: ($link) -> no heading slug '$anchor' in $path"
+					echo bad >> "$FAILFLAG"
+				fi
+				;;
+			esac
+		fi
+	done
+}
+
+FAILFLAG="$(mktemp)"
+trap 'rm -f "$FAILFLAG"' EXIT
+
+files="README.md"
+for f in docs/*.md; do
+	[ -e "$f" ] && files="$files $f"
+done
+
+for f in $files; do
+	check_file "$f"
+done
+
+if [ -s "$FAILFLAG" ]; then
+	echo "FAIL: $(wc -l < "$FAILFLAG") broken links"
+	exit 1
+fi
+echo "PASS: all relative links and anchors in $files resolve"
