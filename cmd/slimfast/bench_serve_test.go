@@ -135,7 +135,7 @@ func driveConcurrent(b *testing.B, do func(i int) (*http.Response, error)) {
 func BenchmarkServeHTTP(b *testing.B) {
 	b.Run("observe", func(b *testing.B) {
 		srv, client := benchServer(b)
-		url := srv.URL + "/observe"
+		url := srv.URL + "/v1/observe"
 		var bodies [][]byte
 		for pass := 0; pass < 2; pass++ {
 			bodies = append(bodies, ndjsonBodies(benchCorpus(64, 512, 8, pass), 64)...)
@@ -146,7 +146,7 @@ func BenchmarkServeHTTP(b *testing.B) {
 	})
 	b.Run("estimates", func(b *testing.B) {
 		srv, client := benchServer(b)
-		url := srv.URL + "/estimates"
+		url := srv.URL + "/v1/estimates"
 		driveConcurrent(b, func(i int) (*http.Response, error) {
 			return client.Get(url)
 		})

@@ -31,7 +31,7 @@ func fuzzServer(t *testing.T) http.Handler {
 // status.
 func observeFuzzBody(t *testing.T, contentType string, body []byte) {
 	h := fuzzServer(t)
-	req := httptest.NewRequest("POST", "/observe", strings.NewReader(string(body)))
+	req := httptest.NewRequest("POST", "/v1/observe", strings.NewReader(string(body)))
 	req.Header.Set("Content-Type", contentType)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)

@@ -27,9 +27,47 @@ func writeJSONTo(w http.ResponseWriter, logw io.Writer, code int, v any) {
 	}
 }
 
-// httpErrorTo writes the JSON error envelope every endpoint uses.
-func httpErrorTo(w http.ResponseWriter, logw io.Writer, code int, msg string) {
-	writeJSONTo(w, logw, code, map[string]any{"error": msg})
+// errorCode maps an HTTP status to the machine-readable code of the
+// uniform error envelope. 503 defaults to "shed" (admission pressure);
+// sites where a 503 really means a deadline (the ingest-lock wait)
+// override it through httpErrorCodeTo.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusRequestTimeout:
+		return "timeout"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return "shed"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "bad_request"
+	}
+}
+
+// httpErrorTo writes the uniform JSON error envelope every endpoint
+// uses: {"error": ..., "code": shed|timeout|bad_request|conflict|internal},
+// with the code derived from the status.
+func httpErrorTo(w http.ResponseWriter, logw io.Writer, status int, msg string) {
+	httpErrorCodeTo(w, logw, status, errorCode(status), msg)
+}
+
+// httpErrorCodeTo writes the error envelope with an explicit code.
+func httpErrorCodeTo(w http.ResponseWriter, logw io.Writer, status int, code, msg string) {
+	writeJSONTo(w, logw, status, map[string]any{"error": msg, "code": code})
+}
+
+// handleBoth mounts a "METHOD /path" pattern at both its unversioned
+// path and under /v1. The /v1 form is canonical; the bare path is a
+// deprecated alias kept for one release (see README).
+func handleBoth(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, h)
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("handleBoth: pattern must be \"METHOD /path\"")
+	}
+	mux.HandleFunc(method+" /v1"+path, h)
 }
 
 // recoverPanicsTo turns a handler panic into a logged 500 so one
@@ -46,6 +84,32 @@ func recoverPanicsTo(logw io.Writer, next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// negotiateFormat picks the response format for the relational read
+// endpoints: an explicit format parameter wins, otherwise an Accept
+// header naming application/json selects NDJSON, default CSV. An
+// unknown format parameter is a 400 — it is part of the query surface.
+func negotiateFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "":
+		if strings.Contains(r.Header.Get("Accept"), "application/json") {
+			return "json", nil
+		}
+		return "csv", nil
+	case "csv", "json", "ndjson":
+		return f, nil
+	default:
+		return "", fmt.Errorf("unknown format %q (want csv or json)", f)
+	}
+}
+
+// resultContentType is the Content-Type a negotiated format serves as.
+func resultContentType(format string) string {
+	if format == "csv" {
+		return "text/csv"
+	}
+	return "application/x-ndjson"
 }
 
 // seqKey extracts the client's idempotency key: the X-Batch-Seq

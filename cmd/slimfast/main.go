@@ -13,6 +13,8 @@
 //	slimfast replay [-obs observations.csv|-] -to http://host:port [-batch N] [-attempts N]
 //	slimfast router -nodes http://n1:8080,http://n2:8080 -listen :8080 \
 //	         [-batch N] [-epoch N] [-checkpoint-epochs N] [-manifest cluster.json]
+//	slimfast query [-to http://host:port | -from state.ckpt] [-table estimates|sources] \
+//	         [-format csv|json] [-generations N] 'where=...&order=...&limit=...'
 //
 // The observations CSV has a "source,object,value" header; features
 // "source,feature"; truth "object,value". With -json, a single document
@@ -28,12 +30,19 @@
 // the final estimates come from an exact -refine re-sweep.
 //
 // With -listen the stream subcommand serves an HTTP API instead of
-// reading a file: POST /observe ingests NDJSON or CSV claims, GET
-// /estimates and GET /sources report the live state, POST /checkpoint
-// and SIGTERM write a durable engine checkpoint to the -checkpoint
-// path, and -restore resumes from one — bit-identically, so a
-// restarted server converges to exactly the state of one that never
-// stopped. See the README's Operations section.
+// reading a file: POST /v1/observe ingests NDJSON or CSV claims, GET
+// /v1/estimates and GET /v1/sources report the live state (with the
+// relational query language — see the query subcommand and
+// docs/API.md), POST /v1/checkpoint and SIGTERM write a durable
+// engine checkpoint to the -checkpoint path, and -restore resumes
+// from one — bit-identically, so a restarted server converges to
+// exactly the state of one that never stopped. See the README's
+// Operations section.
+//
+// The query subcommand runs the same relational query language from
+// the shell, against a live server (-to) or a checkpoint file (-from);
+// -generations walks retained checkpoint generations for as-of
+// trajectories. See cmd/slimfast/query.go.
 //
 // The router subcommand turns N serving nodes into one cluster:
 // objects are consistently hash-partitioned across the nodes, ingest
@@ -71,6 +80,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "router" {
 		return runRouter(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "query" {
+		return runQuery(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("slimfast", flag.ContinueOnError)
 	obsPath := fs.String("obs", "", "observations CSV (source,object,value)")

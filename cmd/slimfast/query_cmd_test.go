@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slimfast/internal/stream"
+)
+
+// driftCheckpoints builds a three-generation checkpoint family over a
+// drift-style stream: wave one establishes consensus (with three weak
+// objects claimed by a single source), a pad wave advances the epoch
+// clock, and wave two flips the weak objects with nine fresh sources.
+// It returns the store path, the epoch cutoff separating the waves,
+// and the names of the flipped objects.
+func driftCheckpoints(t *testing.T, keep int) (string, int64, []string) {
+	t.Helper()
+	opts := stream.DefaultEngineOptions()
+	opts.Shards = 2
+	opts.EpochLength = 32
+	eng, err := stream.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "drift.ckpt")
+	store := stream.NewCheckpointStore(path, keep)
+
+	var flipped []string
+	var wave1 []stream.Triple
+	for o := 0; o < 30; o++ {
+		obj := fmt.Sprintf("o%03d", o)
+		if o%10 == 0 {
+			// Weak: one claimant, so nine dissenters can flip it later.
+			wave1 = append(wave1, stream.Triple{Source: "good1", Object: obj, Value: "t"})
+			flipped = append(flipped, obj)
+			continue
+		}
+		wave1 = append(wave1,
+			stream.Triple{Source: "good1", Object: obj, Value: "t"},
+			stream.Triple{Source: "good2", Object: obj, Value: "t"},
+			stream.Triple{Source: "bad", Object: obj, Value: "w"})
+	}
+	eng.ObserveBatch(wave1)
+	if err := store.Write(eng); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pad: enough claims on one sacrificial object to cross at least
+	// two epoch boundaries, so the cutoff strictly exceeds every
+	// wave-one changed stamp.
+	var pad []stream.Triple
+	for i := 0; i < 2*opts.EpochLength; i++ {
+		pad = append(pad, stream.Triple{Source: fmt.Sprintf("f%03d", i), Object: "pad", Value: "t"})
+	}
+	eng.ObserveBatch(pad)
+	cutoff := eng.CurrentEpoch()
+	if err := store.Write(eng); err != nil {
+		t.Fatal(err)
+	}
+
+	var wave2 []stream.Triple
+	for s := 0; s < 9; s++ {
+		for _, obj := range flipped {
+			wave2 = append(wave2, stream.Triple{Source: fmt.Sprintf("n%d", s), Object: obj, Value: "flip"})
+		}
+	}
+	eng.ObserveBatch(wave2)
+	if err := store.Write(eng); err != nil {
+		t.Fatal(err)
+	}
+	return path, cutoff, flipped
+}
+
+// TestQuerySubcommandRoadmapQuestions answers the four ROADMAP example
+// questions from the shell against checkpointed drift data.
+func TestQuerySubcommandRoadmapQuestions(t *testing.T) {
+	path, cutoff, flipped := driftCheckpoints(t, 3)
+
+	runQ := func(args ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := runQuery(args, &out); err != nil {
+			t.Fatalf("query %v: %v", args, err)
+		}
+		return out.String()
+	}
+
+	// 1. Top-k most contested objects: the two-against-one consensus
+	// objects (margin 0.4) outrank the decisively flipped nine-to-one
+	// ones; ties break on the object name.
+	top := runQ("-from", path, "order=-contested,object&limit=5")
+	if want := "object,value,confidence\no001,t,0.7000\no002,t,0.7000\no003,t,0.7000\no004,t,0.7000\no005,t,0.7000\n"; top != want {
+		t.Errorf("top-k contested:\ngot:\n%s\nwant:\n%s", top, want)
+	}
+
+	// 2. Which estimates flipped since epoch E?
+	got := runQ("-from", path, fmt.Sprintf("where=changed>=%d&cols=object,value&order=object", cutoff))
+	want := "object,value\n"
+	for _, obj := range flipped {
+		want += obj + ",flip\n"
+	}
+	if got != want {
+		t.Errorf("flipped-since query:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// 3. Objects where two sources actively disagree.
+	got = runQ("-from", path, "disagree=good1,bad&cols=object&order=object&limit=3")
+	if got != "object\no001\no002\no003\n" {
+		t.Errorf("disagree query:\n%s", got)
+	}
+
+	// 4. Accuracy trajectory of one source across checkpoint
+	// generations, oldest first.
+	traj := runQ("-from", path, "-table", "sources", "-generations", "3", "where=source=bad&cols=source,accuracy")
+	lines := strings.Split(strings.TrimSpace(traj), "\n")
+	if lines[0] != "generation,epoch,source,accuracy" {
+		t.Fatalf("trajectory header:\n%s", traj)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("trajectory rows = %d, want 3:\n%s", len(lines)-1, traj)
+	}
+	var lastEpoch int64 = -1
+	for i, line := range lines[1:] {
+		var gen int
+		var epoch int64
+		var acc float64
+		if n, err := fmt.Sscanf(line, "%d,%d,bad,%f", &gen, &epoch, &acc); n != 3 || err != nil {
+			t.Fatalf("trajectory row %q: %v", line, err)
+		}
+		if wantGen := 2 - i; gen != wantGen {
+			t.Errorf("trajectory row %d generation = %d, want %d (oldest first)", i, gen, wantGen)
+		}
+		if epoch < lastEpoch {
+			t.Errorf("trajectory epochs regress: %d after %d", epoch, lastEpoch)
+		}
+		lastEpoch = epoch
+	}
+}
+
+// TestQuerySubcommandAgainstServer: the same query against -from and
+// against a live server restored from that checkpoint returns
+// identical bytes, and server-side errors surface the envelope code.
+func TestQuerySubcommandAgainstServer(t *testing.T) {
+	path, _, _ := driftCheckpoints(t, 1)
+	restored, err := stream.RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(testServer(restored, "", 32).handler())
+	defer ts.Close()
+
+	const raw = "order=-contested,object&limit=5&cols=object,value,confidence"
+	for _, format := range []string{"csv", "json"} {
+		var fromOut, toOut bytes.Buffer
+		if err := runQuery([]string{"-from", path, "-format", format, raw}, &fromOut); err != nil {
+			t.Fatal(err)
+		}
+		if err := runQuery([]string{"-to", ts.URL, "-format", format, raw}, &toOut); err != nil {
+			t.Fatal(err)
+		}
+		if fromOut.String() != toOut.String() {
+			t.Errorf("format %s: -from and -to diverge\nfrom:\n%s\nto:\n%s", format, fromOut.String(), toOut.String())
+		}
+	}
+
+	var out bytes.Buffer
+	err = runQuery([]string{"-to", ts.URL, "where=bogus>1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bad_request") {
+		t.Errorf("server-side bad query error = %v, want envelope code", err)
+	}
+}
+
+// TestQuerySubcommandFlagValidation pins the CLI contract.
+func TestQuerySubcommandFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},                                       // neither -to nor -from
+		{"-to", "http://x", "-from", "a.ckpt"},   // both
+		{"-from", "a.ckpt", "-table", "bogus"},   // unknown table
+		{"-from", "a.ckpt", "-format", "xml"},    // unknown format
+		{"-from", "a.ckpt", "-generations", "0"}, // non-positive generations
+		{"-to", "http://x", "-generations", "2"}, // generations without -from
+		{"-from", "a.ckpt", "where=%zz"},         // unparseable query string
+	} {
+		if err := runQuery(args, &out); err == nil {
+			t.Errorf("runQuery(%v) accepted", args)
+		}
+	}
+	if err := runQuery([]string{"-from", filepath.Join(t.TempDir(), "missing.ckpt"), "limit=1"}, &out); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}

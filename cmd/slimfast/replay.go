@@ -46,7 +46,7 @@ func runReplay(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *batch < 1 {
 		*batch = 1
 	}
-	url := strings.TrimSuffix(*to, "/") + "/observe"
+	url := strings.TrimSuffix(*to, "/") + "/v1/observe"
 
 	in := stdin
 	if *obsPath != "-" && *obsPath != "" {

@@ -64,7 +64,7 @@ func TestReplayRetriesThroughOverload(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[string]bool{}
 	shedder := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method == "POST" && r.URL.Path == "/observe" {
+		if r.Method == "POST" && r.URL.Path == "/v1/observe" {
 			seq := r.Header.Get(resilience.SeqHeader)
 			mu.Lock()
 			first := !seen[seq]
@@ -103,8 +103,8 @@ func TestReplayRetriesThroughOverload(t *testing.T) {
 		strings.NewReader(streamCSV(30)), &out); err != nil {
 		t.Fatal(err)
 	}
-	got := doReq(t, srv.handler(), "GET", "/estimates", "", "").Body.String()
-	want := doReq(t, ref.handler(), "GET", "/estimates", "", "").Body.String()
+	got := doReq(t, srv.handler(), "GET", "/v1/estimates", "", "").Body.String()
+	want := doReq(t, ref.handler(), "GET", "/v1/estimates", "", "").Body.String()
 	if got != want {
 		t.Error("shed+retry replay estimates diverge from clean replay")
 	}

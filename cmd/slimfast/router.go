@@ -9,19 +9,29 @@
 // bit-identical to a single-node run over the same claim stream (see
 // internal/cluster for the protocol and its invariants).
 //
-// Endpoints:
+// Endpoints (canonical under /v1; the bare paths are deprecated
+// aliases kept for one release — see README and docs/API.md):
 //
-//	POST /observe     ingest claims (NDJSON or CSV), fanned out by partition;
-//	                  idempotent when stamped with X-Batch-Seq
-//	GET  /estimates   cluster-wide MAP estimates as CSV (merged, header once)
-//	GET  /sources     cluster-wide source accuracies as CSV (union, sorted)
-//	POST /refine      cluster-wide exact re-sweep (?sweeps=N, default 2)
-//	POST /checkpoint  checkpoint every node, then write the router manifest
-//	GET  /healthz     per-partition liveness; always 200 while the router is up
-//	GET  /readyz      readiness: degrades per partition, 503 when no node answers
+//	POST /v1/observe     ingest claims (NDJSON or CSV), fanned out by partition;
+//	                     idempotent when stamped with X-Batch-Seq
+//	GET  /v1/estimates   cluster-wide MAP estimates; accepts the full query
+//	                     language (where/order/limit/cols/group/agg/disagree),
+//	                     CSV default, NDJSON via Accept or ?format=json
+//	GET  /v1/sources     cluster-wide source accuracies (union, sorted), same
+//	                     query language over source,accuracy
+//	GET  /v1/features    online learner feature weights, relayed from the
+//	                     first member that runs a learner (409 when none does)
+//	POST /v1/refine      cluster-wide exact re-sweep (?sweeps=N, default 2)
+//	POST /v1/checkpoint  checkpoint every node, then write the router manifest
+//	GET  /v1/healthz     per-partition liveness; always 200 while the router is up
+//	GET  /v1/readyz      readiness: degrades per partition, 503 when no node answers
+//
+// Every non-2xx response carries the uniform JSON error envelope
+// {"error": ..., "code": shed|timeout|bad_request|conflict|internal}.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"slimfast/internal/cluster"
+	"slimfast/internal/query"
 	"slimfast/internal/resilience"
 	"slimfast/internal/stream"
 )
@@ -98,15 +109,18 @@ type routerServer struct {
 	logw io.Writer
 }
 
+// Routes mount at /v1 and the deprecated unversioned alias, exactly
+// like a member node: clients cannot tell a cluster from one engine.
 func (s *routerServer) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /observe", s.handleObserve)
-	mux.HandleFunc("GET /estimates", s.handleEstimates)
-	mux.HandleFunc("GET /sources", s.handleSources)
-	mux.HandleFunc("POST /refine", s.handleRefine)
-	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	handleBoth(mux, "POST /observe", s.handleObserve)
+	handleBoth(mux, "GET /estimates", s.handleEstimates)
+	handleBoth(mux, "GET /sources", s.handleSources)
+	handleBoth(mux, "GET /features", s.handleFeatures)
+	handleBoth(mux, "POST /refine", s.handleRefine)
+	handleBoth(mux, "POST /checkpoint", s.handleCheckpoint)
+	handleBoth(mux, "GET /healthz", s.handleHealthz)
+	handleBoth(mux, "GET /readyz", s.handleReadyz)
 	return recoverPanicsTo(s.logw, mux)
 }
 
@@ -151,12 +165,126 @@ func (s *routerServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeJSONTo(w, s.logw, http.StatusOK, res)
 }
 
-func (s *routerServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
-	s.serveCSV(w, s.rt.Estimates)
+// serveResult renders a merged query result in the negotiated format.
+func (s *routerServer) serveResult(w http.ResponseWriter, res *query.Result, format string) {
+	var buf bytes.Buffer
+	if err := query.Write(&buf, res, format); err != nil {
+		httpErrorTo(w, s.logw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", resultContentType(format))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		fmt.Fprintf(s.logw, "# WARNING: writing query response: %v\n", err)
+	}
 }
 
+// handleEstimates serves the cluster-wide estimates relation: bare CSV
+// requests keep the legacy concatenated scatter-gather; queries push
+// down to every member and merge with the single-engine fold, so the
+// bytes match one N-shard engine.
+func (s *routerServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	q, err := query.Parse(r.URL.Query(), query.EstimateColumns())
+	if err != nil {
+		httpErrorTo(w, s.logw, http.StatusBadRequest, "estimates: "+err.Error())
+		return
+	}
+	format, err := negotiateFormat(r)
+	if err != nil {
+		httpErrorTo(w, s.logw, http.StatusBadRequest, "estimates: "+err.Error())
+		return
+	}
+	if q.IsPlain() && format == "csv" {
+		s.serveCSV(w, s.rt.Estimates)
+		return
+	}
+	res, err := s.rt.Query(r.Context(), q)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.serveResult(w, res, format)
+}
+
+// handleSources serves cluster-wide source accuracies with the same
+// query language and content negotiation as a member node: the merged
+// table is materialized as a relation and queried locally.
 func (s *routerServer) handleSources(w http.ResponseWriter, r *http.Request) {
-	s.serveCSV(w, s.rt.Sources)
+	cols := []query.Column{
+		{Name: "source", Kind: query.KindString},
+		{Name: "accuracy", Kind: query.KindFloat},
+	}
+	q, err := query.Parse(r.URL.Query(), cols)
+	if err != nil {
+		httpErrorTo(w, s.logw, http.StatusBadRequest, "sources: "+err.Error())
+		return
+	}
+	format, err := negotiateFormat(r)
+	if err != nil {
+		httpErrorTo(w, s.logw, http.StatusBadRequest, "sources: "+err.Error())
+		return
+	}
+	if q.IsPlain() && format == "csv" {
+		s.serveCSV(w, s.rt.Sources)
+		return
+	}
+	var buf strings.Builder
+	if err := s.rt.Sources(r.Context(), &buf); err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	rel, err := parseSourcesCSV(buf.String(), cols)
+	if err != nil {
+		httpErrorTo(w, s.logw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := query.ExecuteRelation(rel, q)
+	if err != nil {
+		httpErrorTo(w, s.logw, http.StatusBadRequest, "sources: "+err.Error())
+		return
+	}
+	s.serveResult(w, res, format)
+}
+
+// parseSourcesCSV rebuilds the merged sources table as a relation.
+func parseSourcesCSV(body string, cols []query.Column) (*query.Relation, error) {
+	rel := &query.Relation{Cols: cols}
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	for i, line := range lines {
+		if i == 0 || line == "" {
+			continue // header
+		}
+		name, accStr, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("sources: malformed merged row %q", line)
+		}
+		acc, err := strconv.ParseFloat(accStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sources: malformed accuracy in %q", line)
+		}
+		rel.Rows = append(rel.Rows, []query.Val{
+			{Kind: query.KindString, Str: name},
+			{Kind: query.KindFloat, Num: acc},
+		})
+	}
+	return rel, nil
+}
+
+// handleFeatures relays the online learner's feature weights from the
+// first member that has one; a learner-less cluster answers 409 like a
+// learner-less node.
+func (s *routerServer) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	body, err := s.rt.Features(r.Context())
+	if err != nil {
+		httpErrorTo(w, s.logw, http.StatusConflict,
+			"features: no member has an online learner: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if _, err := w.Write(body); err != nil {
+		fmt.Fprintf(s.logw, "# WARNING: writing features response: %v\n", err)
+	}
 }
 
 // serveCSV buffers the scatter-gather merge so a partition failure
@@ -232,6 +360,8 @@ func (s *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if status == "unavailable" {
 		w.Header().Set("Retry-After", "1")
 		code = http.StatusServiceUnavailable
+		body["error"] = "no cluster partition is ready; retry with backoff"
+		body["code"] = "shed"
 	}
 	writeJSONTo(w, s.logw, code, body)
 }

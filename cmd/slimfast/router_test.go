@@ -58,6 +58,12 @@ func newGoldenCluster(t *testing.T, nodes, batch, epochLen int) *routerServer {
 		t.Cleanup(srv.Close)
 		urls[i] = srv.URL
 	}
+	return newGoldenClusterOver(t, urls, batch, epochLen)
+}
+
+// newGoldenClusterOver builds a router over already-running member URLs.
+func newGoldenClusterOver(t *testing.T, urls []string, batch, epochLen int) *routerServer {
+	t.Helper()
 	rt, err := cluster.New(cluster.Config{
 		Nodes:       urls,
 		Batch:       batch,
@@ -93,7 +99,7 @@ func TestRouterGoldenEquivalence(t *testing.T) {
 	}
 
 	rs := newGoldenCluster(t, nodes, batch, epochLen)
-	rec := doReq(t, rs.handler(), http.MethodPost, "/observe?seq=golden", "application/x-ndjson", ndjsonFromTriples(claims))
+	rec := doReq(t, rs.handler(), http.MethodPost, "/v1/observe?seq=golden", "application/x-ndjson", ndjsonFromTriples(claims))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("observe: %d %s", rec.Code, rec.Body)
 	}
@@ -108,36 +114,36 @@ func TestRouterGoldenEquivalence(t *testing.T) {
 	wantEst := refCSV(func(w *bytes.Buffer) error { return writeEstimatesCSV(w, ref) })
 	wantSrc := refCSV(func(w *bytes.Buffer) error { return writeSourceAccuraciesCSV(w, ref) })
 
-	gotEst := doReq(t, rs.handler(), http.MethodGet, "/estimates", "", "")
+	gotEst := doReq(t, rs.handler(), http.MethodGet, "/v1/estimates", "", "")
 	if gotEst.Code != http.StatusOK || gotEst.Body.String() != wantEst {
 		t.Fatalf("cluster /estimates diverged from the single engine\ncluster:\n%s\nreference:\n%s", gotEst.Body, wantEst)
 	}
-	gotSrc := doReq(t, rs.handler(), http.MethodGet, "/sources", "", "")
+	gotSrc := doReq(t, rs.handler(), http.MethodGet, "/v1/sources", "", "")
 	if gotSrc.Code != http.StatusOK || gotSrc.Body.String() != wantSrc {
 		t.Fatalf("cluster /sources diverged from the single engine\ncluster:\n%s\nreference:\n%s", gotSrc.Body, wantSrc)
 	}
 
 	// The distributed refine must land on the same fixed point.
 	ref.Refine(2)
-	if rec := doReq(t, rs.handler(), http.MethodPost, "/refine?sweeps=2", "", ""); rec.Code != http.StatusOK {
+	if rec := doReq(t, rs.handler(), http.MethodPost, "/v1/refine?sweeps=2", "", ""); rec.Code != http.StatusOK {
 		t.Fatalf("refine: %d %s", rec.Code, rec.Body)
 	}
 	wantEst = refCSV(func(w *bytes.Buffer) error { return writeEstimatesCSV(w, ref) })
 	wantSrc = refCSV(func(w *bytes.Buffer) error { return writeSourceAccuraciesCSV(w, ref) })
-	if got := doReq(t, rs.handler(), http.MethodGet, "/estimates", "", ""); got.Body.String() != wantEst {
+	if got := doReq(t, rs.handler(), http.MethodGet, "/v1/estimates", "", ""); got.Body.String() != wantEst {
 		t.Fatalf("post-refine /estimates diverged\ncluster:\n%s\nreference:\n%s", got.Body, wantEst)
 	}
-	if got := doReq(t, rs.handler(), http.MethodGet, "/sources", "", ""); got.Body.String() != wantSrc {
+	if got := doReq(t, rs.handler(), http.MethodGet, "/v1/sources", "", ""); got.Body.String() != wantSrc {
 		t.Fatalf("post-refine /sources diverged\ncluster:\n%s\nreference:\n%s", got.Body, wantSrc)
 	}
 
 	// A full re-delivery of the same request must change nothing: the
 	// router re-forwards every chunk (node dedup absorbs them) and the
 	// cluster bytes stay put.
-	if rec := doReq(t, rs.handler(), http.MethodPost, "/observe?seq=golden", "application/x-ndjson", ndjsonFromTriples(claims)); rec.Code != http.StatusOK {
+	if rec := doReq(t, rs.handler(), http.MethodPost, "/v1/observe?seq=golden", "application/x-ndjson", ndjsonFromTriples(claims)); rec.Code != http.StatusOK {
 		t.Fatalf("re-observe: %d %s", rec.Code, rec.Body)
 	}
-	if got := doReq(t, rs.handler(), http.MethodGet, "/estimates", "", ""); got.Body.String() != wantEst {
+	if got := doReq(t, rs.handler(), http.MethodGet, "/v1/estimates", "", ""); got.Body.String() != wantEst {
 		t.Fatal("re-delivered request changed the cluster estimates")
 	}
 }
@@ -148,19 +154,19 @@ func TestRouterHTTPSurface(t *testing.T) {
 	rs := newGoldenCluster(t, 2, 8, 16)
 	h := rs.handler()
 
-	if rec := doReq(t, h, http.MethodPost, "/observe", "application/x-ndjson", `{"source":"","object":"o","value":"v"}`+"\n"); rec.Code != http.StatusBadRequest {
+	if rec := doReq(t, h, http.MethodPost, "/v1/observe", "application/x-ndjson", `{"source":"","object":"o","value":"v"}`+"\n"); rec.Code != http.StatusBadRequest {
 		t.Fatalf("empty source accepted: %d %s", rec.Code, rec.Body)
 	}
-	if rec := doReq(t, h, http.MethodPost, "/refine?sweeps=0", "", ""); rec.Code != http.StatusBadRequest {
+	if rec := doReq(t, h, http.MethodPost, "/v1/refine?sweeps=0", "", ""); rec.Code != http.StatusBadRequest {
 		t.Fatalf("sweeps=0 accepted: %d", rec.Code)
 	}
-	if rec := doReq(t, h, http.MethodPost, "/observe", "text/csv", "source,object,value\na,o1,v\nb,o2,v\n"); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, http.MethodPost, "/v1/observe", "text/csv", "source,object,value\na,o1,v\nb,o2,v\n"); rec.Code != http.StatusOK {
 		t.Fatalf("csv observe: %d %s", rec.Code, rec.Body)
 	}
-	if rec := doReq(t, h, http.MethodGet, "/healthz", "", ""); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+	if rec := doReq(t, h, http.MethodGet, "/v1/healthz", "", ""); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
 		t.Fatalf("healthz: %d %s", rec.Code, rec.Body)
 	}
-	if rec := doReq(t, h, http.MethodGet, "/readyz", "", ""); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ready"`) {
+	if rec := doReq(t, h, http.MethodGet, "/v1/readyz", "", ""); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ready"`) {
 		t.Fatalf("readyz: %d %s", rec.Code, rec.Body)
 	}
 }
@@ -177,7 +183,7 @@ func TestRouterRefusesMemberRefine(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := testServer(eng, "", 8).handler()
-	if rec := doReq(t, h, http.MethodPost, "/refine", "", ""); rec.Code != http.StatusConflict {
+	if rec := doReq(t, h, http.MethodPost, "/v1/refine", "", ""); rec.Code != http.StatusConflict {
 		t.Fatalf("member refine: %d, want 409", rec.Code)
 	}
 }

@@ -4,20 +4,29 @@
 // queried live, and the engine state survives restarts through
 // generation-rotated checkpoints and the SIGTERM handler.
 //
-// Endpoints:
+// Endpoints (canonical under /v1; the unversioned paths are
+// deprecated aliases kept for one release — see docs/API.md):
 //
-//	POST /observe     ingest claims (NDJSON objects or text/csv rows);
-//	                  idempotent when stamped with X-Batch-Seq
-//	GET  /estimates   every live object's MAP value as CSV
-//	GET  /sources     source accuracies as CSV
-//	GET  /features    online learner feature weights as CSV
-//	POST /refine      run the exact re-sweep (?sweeps=N, default 2)
-//	POST /checkpoint  write a checkpoint generation to the -checkpoint path
-//	GET  /healthz     liveness + engine stats as JSON
-//	GET  /readyz      readiness: 503 + Retry-After under admission pressure
-//	POST /epoch/drain cluster control plane: drain settled evidence deltas
-//	POST /epoch/mass  cluster control plane: exact refine mass
-//	POST /epoch/apply cluster control plane: install a pushed σ-table
+//	POST /v1/observe     ingest claims (NDJSON objects or text/csv rows);
+//	                     idempotent when stamped with X-Batch-Seq
+//	GET  /v1/estimates   the estimates relation: plain dump, or filtered /
+//	                     ordered / limited / grouped via query parameters
+//	                     (where, order, limit, cols, group, agg, disagree);
+//	                     CSV by default, NDJSON via format=json or
+//	                     Accept: application/json
+//	GET  /v1/sources     source accuracies, same query language and formats
+//	GET  /v1/features    online learner feature weights as CSV
+//	POST /v1/refine      run the exact re-sweep (?sweeps=N, default 2)
+//	POST /v1/checkpoint  write a checkpoint generation to the -checkpoint path
+//	GET  /v1/healthz     liveness + engine stats as JSON
+//	GET  /v1/readyz      readiness: 503 + Retry-After under admission pressure
+//	POST /v1/epoch/drain cluster control plane: drain settled evidence deltas
+//	POST /v1/epoch/mass  cluster control plane: exact refine mass
+//	POST /v1/epoch/apply cluster control plane: install a pushed σ-table
+//
+// Every non-2xx response carries the uniform error envelope
+// {"error": ..., "code": shed|timeout|bad_request|conflict|internal}
+// (the mux's own plain-text 404/405 excepted).
 //
 // The three /epoch endpoints are the member half of cluster mode (see
 // internal/cluster and `slimfast router`): idempotent by coordinator
@@ -54,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"slimfast/internal/query"
 	"slimfast/internal/resilience"
 	"slimfast/internal/stream"
 )
@@ -145,20 +155,33 @@ func (s *streamServer) releaseIngest() { <-s.lock }
 // handler builds the route table. Method matching is delegated to the
 // ServeMux patterns (wrong methods get 405 for free); the whole mux
 // runs behind the panic-recovery middleware.
+// Every route is mounted twice: the canonical /v1 path and the
+// unversioned alias kept for one release (see README's deprecation
+// note). Unmatched paths and wrong methods get the mux's plain-text
+// 404/405 — the one surface outside the JSON error envelope.
 func (s *streamServer) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /observe", s.handleObserve)
-	mux.HandleFunc("GET /estimates", s.handleEstimates)
-	mux.HandleFunc("GET /sources", s.handleSources)
-	mux.HandleFunc("GET /features", s.handleFeatures)
-	mux.HandleFunc("POST /refine", s.handleRefine)
-	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("POST /epoch/drain", s.handleEpochDrain)
-	mux.HandleFunc("POST /epoch/mass", s.handleEpochMass)
-	mux.HandleFunc("POST /epoch/apply", s.handleEpochApply)
+	handleBoth(mux, "POST /observe", s.handleObserve)
+	handleBoth(mux, "GET /estimates", s.handleEstimates)
+	handleBoth(mux, "GET /sources", s.handleSources)
+	handleBoth(mux, "GET /features", s.handleFeatures)
+	handleBoth(mux, "POST /refine", s.handleRefine)
+	handleBoth(mux, "POST /checkpoint", s.handleCheckpoint)
+	handleBoth(mux, "GET /healthz", s.handleHealthz)
+	handleBoth(mux, "GET /readyz", s.handleReadyz)
+	handleBoth(mux, "POST /epoch/drain", s.handleEpochDrain)
+	handleBoth(mux, "POST /epoch/mass", s.handleEpochMass)
+	handleBoth(mux, "POST /epoch/apply", s.handleEpochApply)
 	return recoverPanicsTo(s.logw, mux)
+}
+
+// lockTimeout reports a request that gave up waiting for the ingest
+// lock: 503 + Retry-After like shedding, but with code "timeout" — the
+// deadline expired, the server is not necessarily saturated.
+func (s *streamServer) lockTimeout(w http.ResponseWriter, op string) {
+	w.Header().Set("Retry-After", "1")
+	httpErrorCodeTo(w, s.logw, http.StatusServiceUnavailable, "timeout",
+		op+": timed out waiting for the ingest lock; retry with backoff")
 }
 
 // requestContext derives the deadline-bounded context for one request
@@ -250,9 +273,7 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !s.acquireIngest(ctx) {
-		w.Header().Set("Retry-After", "1")
-		s.httpError(w, http.StatusServiceUnavailable,
-			"observe: timed out waiting for the ingest lock; retry with backoff")
+		s.lockTimeout(w, "observe")
 		return
 	}
 	defer s.releaseIngest()
@@ -322,16 +343,111 @@ func (s *streamServer) serveCSV(w http.ResponseWriter, emit func(io.Writer) erro
 	}
 }
 
-// handleEstimates serves the live MAP estimates as CSV — the same
-// bytes the CLI's -values output produces, which is what the restart
-// e2e test byte-compares.
-func (s *streamServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
-	s.serveCSV(w, func(out io.Writer) error { return writeEstimatesCSV(out, s.eng) })
+// serveResult renders a query result in the negotiated format, buffered
+// so a failure still becomes a clean 500.
+func (s *streamServer) serveResult(w http.ResponseWriter, res *query.Result, format string) {
+	var buf bytes.Buffer
+	if err := query.Write(&buf, res, format); err != nil {
+		s.httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", resultContentType(format))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		fmt.Fprintf(s.logw, "# WARNING: writing query response: %v\n", err)
+	}
 }
 
-// handleSources serves source accuracies as CSV.
+// handleEstimates serves the estimates relation. Bare requests stream
+// the legacy CSV bytes (what the restart e2e test byte-compares); any
+// query parameter routes through the relational executor, and the
+// format parameter / Accept header select CSV or NDJSON. The internal
+// partial=1 flag (cluster scatter) returns unfinalized group
+// aggregates for the router to fold.
+func (s *streamServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
+	q, err := query.Parse(r.URL.Query(), query.EstimateColumns())
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "estimates: "+err.Error())
+		return
+	}
+	format, err := negotiateFormat(r)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "estimates: "+err.Error())
+		return
+	}
+	if q.IsPlain() && format == "csv" {
+		s.serveCSV(w, func(out io.Writer) error { return writeEstimatesCSV(out, s.eng) })
+		return
+	}
+	var res *query.Result
+	if r.URL.Query().Get("partial") != "" {
+		res, err = query.ExecutePartial(s.eng, q)
+	} else {
+		res, err = query.Execute(s.eng, q)
+	}
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "estimates: "+err.Error())
+		return
+	}
+	s.serveResult(w, res, format)
+}
+
+// sourcesRelation materializes the source accuracy table with the
+// legacy column set (the online decomposition columns when the engine
+// learns), so queried and negotiated reads share one schema with the
+// plain CSV surface.
+func sourcesRelation(eng *stream.Engine) *query.Relation {
+	str := func(s string) query.Val { return query.Val{Kind: query.KindString, Str: s} }
+	num := func(f float64) query.Val { return query.Val{Kind: query.KindFloat, Num: f} }
+	if !eng.OnlineLearning() {
+		rel := &query.Relation{Cols: []query.Column{
+			{Name: "source", Kind: query.KindString},
+			{Name: "accuracy", Kind: query.KindFloat},
+		}}
+		for _, s := range eng.Sources() {
+			rel.Rows = append(rel.Rows, []query.Val{str(s), num(eng.SourceAccuracy(s))})
+		}
+		return rel
+	}
+	rel := &query.Relation{Cols: []query.Column{
+		{Name: "source", Kind: query.KindString},
+		{Name: "accuracy", Kind: query.KindFloat},
+		{Name: "learned", Kind: query.KindFloat},
+		{Name: "empirical", Kind: query.KindFloat},
+	}}
+	for _, s := range eng.Sources() {
+		acc, learned, empirical, ok := eng.SourceAccuracyDetail(s)
+		if !ok {
+			continue
+		}
+		rel.Rows = append(rel.Rows, []query.Val{str(s), num(acc), num(learned), num(empirical)})
+	}
+	return rel
+}
+
+// handleSources serves the source accuracy relation with the same
+// query language and content negotiation as /estimates.
 func (s *streamServer) handleSources(w http.ResponseWriter, r *http.Request) {
-	s.serveCSV(w, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
+	rel := sourcesRelation(s.eng)
+	q, err := query.Parse(r.URL.Query(), rel.Cols)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "sources: "+err.Error())
+		return
+	}
+	format, err := negotiateFormat(r)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "sources: "+err.Error())
+		return
+	}
+	if q.IsPlain() && format == "csv" {
+		s.serveCSV(w, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
+		return
+	}
+	res, err := query.ExecuteRelation(rel, q)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "sources: "+err.Error())
+		return
+	}
+	s.serveResult(w, res, format)
 }
 
 // handleFeatures exposes the online learner's model — the intercept
@@ -383,9 +499,7 @@ func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if !s.acquireIngest(ctx) {
-		w.Header().Set("Retry-After", "1")
-		s.httpError(w, http.StatusServiceUnavailable,
-			"refine: timed out waiting for the ingest lock; retry with backoff")
+		s.lockTimeout(w, "refine")
 		return
 	}
 	defer s.releaseIngest()
@@ -408,9 +522,7 @@ func (s *streamServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if !s.acquireIngest(ctx) {
-		w.Header().Set("Retry-After", "1")
-		s.httpError(w, http.StatusServiceUnavailable,
-			"checkpoint: timed out waiting for the ingest lock; retry with backoff")
+		s.lockTimeout(w, "checkpoint")
 		return
 	}
 	defer s.releaseIngest()
@@ -460,6 +572,10 @@ func (s *streamServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.gate.Saturated() {
 		body["status"] = "overloaded"
+		// Non-2xx responses carry the uniform error envelope keys even
+		// when, as here, they also carry diagnostic detail.
+		body["error"] = "server saturated; retry with backoff"
+		body["code"] = "shed"
 		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, http.StatusServiceUnavailable, body)
 		return
@@ -517,9 +633,7 @@ func (s *streamServer) runEpoch(w http.ResponseWriter, r *http.Request, cache *e
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if !s.acquireIngest(ctx) {
-		w.Header().Set("Retry-After", "1")
-		s.httpError(w, http.StatusServiceUnavailable,
-			"epoch: timed out waiting for the ingest lock; retry with backoff")
+		s.lockTimeout(w, "epoch")
 		return
 	}
 	defer s.releaseIngest()

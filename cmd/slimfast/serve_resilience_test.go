@@ -24,7 +24,7 @@ func TestServeAdmissionShedding(t *testing.T) {
 	h := srv.handler()
 
 	big := streamCSV(40) // way past 64 bytes
-	rec := doReq(t, h, "POST", "/observe", "text/csv", big)
+	rec := doReq(t, h, "POST", "/v1/observe", "text/csv", big)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("oversized observe = %d, want 429: %s", rec.Code, rec.Body)
 	}
@@ -35,7 +35,7 @@ func TestServeAdmissionShedding(t *testing.T) {
 		t.Errorf("shed counter = %d, want 1", shed)
 	}
 	// A body inside the budget is admitted.
-	if rec := doReq(t, h, "POST", "/observe", "text/csv", "s,o,v\n"); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "POST", "/v1/observe", "text/csv", "s,o,v\n"); rec.Code != http.StatusOK {
 		t.Errorf("small observe = %d: %s", rec.Code, rec.Body)
 	}
 
@@ -45,11 +45,11 @@ func TestServeAdmissionShedding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec := doReq(t, slot.handler(), "POST", "/observe", "text/csv", "s,o,v\n"); rec.Code != http.StatusTooManyRequests {
+	if rec := doReq(t, slot.handler(), "POST", "/v1/observe", "text/csv", "s,o,v\n"); rec.Code != http.StatusTooManyRequests {
 		t.Errorf("saturated observe = %d, want 429", rec.Code)
 	}
 	release()
-	if rec := doReq(t, slot.handler(), "POST", "/observe", "text/csv", "s,o,v\n"); rec.Code != http.StatusOK {
+	if rec := doReq(t, slot.handler(), "POST", "/v1/observe", "text/csv", "s,o,v\n"); rec.Code != http.StatusOK {
 		t.Errorf("post-release observe = %d: %s", rec.Code, rec.Body)
 	}
 }
@@ -61,25 +61,25 @@ func TestServeReadyz(t *testing.T) {
 	srv := newStreamServer(testEngine(t, 2), serveConfig{Batch: 32, MaxInflightReqs: 2}, io.Discard)
 	h := srv.handler()
 
-	rec := doReq(t, h, "GET", "/readyz", "", "")
+	rec := doReq(t, h, "GET", "/v1/readyz", "", "")
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ready"`) {
 		t.Fatalf("idle readyz = %d: %s", rec.Code, rec.Body)
 	}
 	r1, _ := srv.gate.Acquire(10)
 	r2, _ := srv.gate.Acquire(10)
-	rec = doReq(t, h, "GET", "/readyz", "", "")
+	rec = doReq(t, h, "GET", "/v1/readyz", "", "")
 	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"overloaded"`) {
 		t.Errorf("saturated readyz = %d: %s", rec.Code, rec.Body)
 	}
 	if rec.Header().Get("Retry-After") == "" {
 		t.Error("overloaded readyz without Retry-After")
 	}
-	if rec := doReq(t, h, "GET", "/healthz", "", ""); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "GET", "/v1/healthz", "", ""); rec.Code != http.StatusOK {
 		t.Errorf("healthz under pressure = %d, want 200 (liveness only)", rec.Code)
 	}
 	r1()
 	r2()
-	if rec := doReq(t, h, "GET", "/readyz", "", ""); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "GET", "/v1/readyz", "", ""); rec.Code != http.StatusOK {
 		t.Errorf("drained readyz = %d: %s", rec.Code, rec.Body)
 	}
 }
@@ -107,7 +107,7 @@ func TestServeIdempotentObserve(t *testing.T) {
 	for i, body := range bodies {
 		seq := fmt.Sprintf("batch-%d", i)
 		req := func(h http.Handler) *httptest.ResponseRecorder {
-			r := httptest.NewRequest("POST", "/observe", strings.NewReader(body))
+			r := httptest.NewRequest("POST", "/v1/observe", strings.NewReader(body))
 			r.Header.Set(resilience.SeqHeader, seq)
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, r)
@@ -137,8 +137,8 @@ func TestServeIdempotentObserve(t *testing.T) {
 			}
 		}
 	}
-	wantEst := doReq(t, hOnce, "GET", "/estimates", "", "").Body.String()
-	gotEst := doReq(t, hStorm, "GET", "/estimates", "", "").Body.String()
+	wantEst := doReq(t, hOnce, "GET", "/v1/estimates", "", "").Body.String()
+	gotEst := doReq(t, hStorm, "GET", "/v1/estimates", "", "").Body.String()
 	if gotEst != wantEst {
 		t.Error("retry storm /estimates diverge from single delivery")
 	}
@@ -147,7 +147,7 @@ func TestServeIdempotentObserve(t *testing.T) {
 	}
 
 	// The ?seq= query form works for header-less clients.
-	if rec := doReq(t, hStorm, "POST", "/observe?seq=batch-0", "", bodies[0]); rec.Code != http.StatusOK ||
+	if rec := doReq(t, hStorm, "POST", "/v1/observe?seq=batch-0", "", bodies[0]); rec.Code != http.StatusOK ||
 		!strings.Contains(rec.Body.String(), `"deduped":true`) {
 		t.Errorf("?seq= replay = %d: %s", rec.Code, rec.Body)
 	}
@@ -161,14 +161,14 @@ func TestServeDedupSurvivesRestart(t *testing.T) {
 	srv := testServer(testEngine(t, 2), ckpt, 32)
 	h := srv.handler()
 	body := ndjsonFromCSV(streamCSV(30))
-	req := httptest.NewRequest("POST", "/observe", strings.NewReader(body))
+	req := httptest.NewRequest("POST", "/v1/observe", strings.NewReader(body))
 	req.Header.Set(resilience.SeqHeader, "once-upon-a-batch")
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
 	}
-	if rec := doReq(t, h, "POST", "/checkpoint", "", ""); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "POST", "/v1/checkpoint", "", ""); rec.Code != http.StatusOK {
 		t.Fatalf("checkpoint = %d: %s", rec.Code, rec.Body)
 	}
 	restored, err := stream.RestoreFile(ckpt)
@@ -177,7 +177,7 @@ func TestServeDedupSurvivesRestart(t *testing.T) {
 	}
 	wantObs := restored.Stats().Observations
 	h2 := testServer(restored, ckpt, 32).handler()
-	req = httptest.NewRequest("POST", "/observe", strings.NewReader(body))
+	req = httptest.NewRequest("POST", "/v1/observe", strings.NewReader(body))
 	req.Header.Set(resilience.SeqHeader, "once-upon-a-batch")
 	rec = httptest.NewRecorder()
 	h2.ServeHTTP(rec, req)
@@ -193,10 +193,10 @@ func TestServeDedupSurvivesRestart(t *testing.T) {
 // CSV on online engines and 409s on agreement-only ones.
 func TestServeFeaturesEndpoint(t *testing.T) {
 	h := testServer(featureEngine(t, 2), "", 64).handler()
-	if rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(150)); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "POST", "/v1/observe", "text/csv", streamCSV(150)); rec.Code != http.StatusOK {
 		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
 	}
-	rec := doReq(t, h, "GET", "/features", "", "")
+	rec := doReq(t, h, "GET", "/v1/features", "", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("features = %d: %s", rec.Code, rec.Body)
 	}
@@ -222,11 +222,11 @@ func TestServeFeaturesEndpoint(t *testing.T) {
 		t.Errorf("reviewed weight %.4f should exceed scraped %.4f", reviewed, scraped)
 	}
 
-	if rec := doReq(t, h, "POST", "/features", "", ""); rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("POST /features = %d, want 405", rec.Code)
+	if rec := doReq(t, h, "POST", "/v1/features", "", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/features = %d, want 405", rec.Code)
 	}
 	plain := testServer(testEngine(t, 2), "", 32).handler()
-	if rec := doReq(t, plain, "GET", "/features", "", ""); rec.Code != http.StatusConflict {
+	if rec := doReq(t, plain, "GET", "/v1/features", "", ""); rec.Code != http.StatusConflict {
 		t.Errorf("features without learner = %d, want 409", rec.Code)
 	}
 }
@@ -264,7 +264,7 @@ func TestServeLockTimeout(t *testing.T) {
 	defer func() { <-srv.lock }()
 
 	start := time.Now()
-	rec := doReq(t, h, "POST", "/observe", "text/csv", "s,o,v\n")
+	rec := doReq(t, h, "POST", "/v1/observe", "text/csv", "s,o,v\n")
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("lock-starved observe = %d, want 503: %s", rec.Code, rec.Body)
 	}
@@ -274,11 +274,11 @@ func TestServeLockTimeout(t *testing.T) {
 	if took := time.Since(start); took > 5*time.Second {
 		t.Errorf("shedding took %v, deadline did not bite", took)
 	}
-	if rec := doReq(t, h, "POST", "/refine", "", ""); rec.Code != http.StatusServiceUnavailable {
+	if rec := doReq(t, h, "POST", "/v1/refine", "", ""); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("lock-starved refine = %d, want 503", rec.Code)
 	}
 	// Queries stay lock-free and keep answering while ingest is wedged.
-	if rec := doReq(t, h, "GET", "/estimates", "", ""); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "GET", "/v1/estimates", "", ""); rec.Code != http.StatusOK {
 		t.Errorf("estimates during wedge = %d", rec.Code)
 	}
 }
@@ -297,7 +297,7 @@ func TestServeBodyReadTimeout(t *testing.T) {
 	go func() {
 		pw.Write([]byte("s,o,v\n")) // a taste, then silence
 	}()
-	req, err := http.NewRequest("POST", ts.URL+"/observe", pr)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/observe", pr)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,20 +78,20 @@ func TestServeRestartDeterminism(t *testing.T) {
 		// One uninterrupted life.
 		hU := testServer(testEngine(t, workers), "", 64).handler()
 		for _, body := range []string{part1, part2} {
-			if rec := doReq(t, hU, "POST", "/observe", "", body); rec.Code != http.StatusOK {
+			if rec := doReq(t, hU, "POST", "/v1/observe", "", body); rec.Code != http.StatusOK {
 				t.Fatalf("workers=%d: observe = %d: %s", workers, rec.Code, rec.Body)
 			}
 		}
-		wantEst := doReq(t, hU, "GET", "/estimates", "", "").Body.String()
-		wantSrc := doReq(t, hU, "GET", "/sources", "", "").Body.String()
+		wantEst := doReq(t, hU, "GET", "/v1/estimates", "", "").Body.String()
+		wantSrc := doReq(t, hU, "GET", "/v1/sources", "", "").Body.String()
 
 		// Ingest, checkpoint, die, restore, finish.
 		ckpt := filepath.Join(t.TempDir(), "srv.ckpt")
 		h1 := testServer(testEngine(t, workers), ckpt, 64).handler()
-		if rec := doReq(t, h1, "POST", "/observe", "", part1); rec.Code != http.StatusOK {
+		if rec := doReq(t, h1, "POST", "/v1/observe", "", part1); rec.Code != http.StatusOK {
 			t.Fatalf("workers=%d: part1 = %d: %s", workers, rec.Code, rec.Body)
 		}
-		if rec := doReq(t, h1, "POST", "/checkpoint", "", ""); rec.Code != http.StatusOK {
+		if rec := doReq(t, h1, "POST", "/v1/checkpoint", "", ""); rec.Code != http.StatusOK {
 			t.Fatalf("workers=%d: checkpoint = %d: %s", workers, rec.Code, rec.Body)
 		}
 		restored, err := stream.RestoreFile(ckpt)
@@ -99,13 +99,13 @@ func TestServeRestartDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		h2 := testServer(restored, ckpt, 64).handler()
-		if rec := doReq(t, h2, "POST", "/observe", "", part2); rec.Code != http.StatusOK {
+		if rec := doReq(t, h2, "POST", "/v1/observe", "", part2); rec.Code != http.StatusOK {
 			t.Fatalf("workers=%d: part2 = %d: %s", workers, rec.Code, rec.Body)
 		}
-		if got := doReq(t, h2, "GET", "/estimates", "", "").Body.String(); got != wantEst {
+		if got := doReq(t, h2, "GET", "/v1/estimates", "", "").Body.String(); got != wantEst {
 			t.Errorf("workers=%d: restored /estimates differ from uninterrupted run\ngot:\n%s\nwant:\n%s", workers, got, wantEst)
 		}
-		if got := doReq(t, h2, "GET", "/sources", "", "").Body.String(); got != wantSrc {
+		if got := doReq(t, h2, "GET", "/v1/sources", "", "").Body.String(); got != wantSrc {
 			t.Errorf("workers=%d: restored /sources differ from uninterrupted run", workers)
 		}
 	}
@@ -113,7 +113,7 @@ func TestServeRestartDeterminism(t *testing.T) {
 
 func TestServeObserveCSVAndQueries(t *testing.T) {
 	h := testServer(testEngine(t, 2), "", 32).handler()
-	rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(40))
+	rec := doReq(t, h, "POST", "/v1/observe", "text/csv", streamCSV(40))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("csv observe = %d: %s", rec.Code, rec.Body)
 	}
@@ -128,18 +128,18 @@ func TestServeObserveCSVAndQueries(t *testing.T) {
 		t.Errorf("ingested %d / observations %d, want 120/120", resp.Ingested, resp.Observations)
 	}
 
-	est := doReq(t, h, "GET", "/estimates", "", "")
+	est := doReq(t, h, "GET", "/v1/estimates", "", "")
 	if ct := est.Header().Get("Content-Type"); ct != "text/csv" {
 		t.Errorf("estimates content type = %q", ct)
 	}
 	if body := est.Body.String(); !strings.HasPrefix(body, "object,value,confidence\n") || !strings.Contains(body, "o000,t,") {
 		t.Errorf("estimates body:\n%s", body)
 	}
-	if body := doReq(t, h, "GET", "/sources", "", "").Body.String(); !strings.Contains(body, "good1,") {
+	if body := doReq(t, h, "GET", "/v1/sources", "", "").Body.String(); !strings.Contains(body, "good1,") {
 		t.Errorf("sources body:\n%s", body)
 	}
 
-	hz := doReq(t, h, "GET", "/healthz", "", "")
+	hz := doReq(t, h, "GET", "/v1/healthz", "", "")
 	var health map[string]any
 	if err := json.Unmarshal(hz.Body.Bytes(), &health); err != nil {
 		t.Fatal(err)
@@ -151,24 +151,24 @@ func TestServeObserveCSVAndQueries(t *testing.T) {
 
 func TestServeErrors(t *testing.T) {
 	h := testServer(testEngine(t, 1), "", 32).handler()
-	if rec := doReq(t, h, "GET", "/observe", "", ""); rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /observe = %d, want 405", rec.Code)
+	if rec := doReq(t, h, "GET", "/v1/observe", "", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/observe = %d, want 405", rec.Code)
 	}
-	if rec := doReq(t, h, "POST", "/estimates", "", ""); rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("POST /estimates = %d, want 405", rec.Code)
+	if rec := doReq(t, h, "POST", "/v1/estimates", "", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/estimates = %d, want 405", rec.Code)
 	}
-	if rec := doReq(t, h, "POST", "/checkpoint", "", ""); rec.Code != http.StatusConflict {
+	if rec := doReq(t, h, "POST", "/v1/checkpoint", "", ""); rec.Code != http.StatusConflict {
 		t.Errorf("checkpoint with no path = %d, want 409", rec.Code)
 	}
-	if rec := doReq(t, h, "POST", "/observe", "", "{not json"); rec.Code != http.StatusBadRequest {
+	if rec := doReq(t, h, "POST", "/v1/observe", "", "{not json"); rec.Code != http.StatusBadRequest {
 		t.Errorf("bad ndjson = %d, want 400", rec.Code)
 	}
-	if rec := doReq(t, h, "POST", "/observe", "", `{"source":"s","object":"","value":"v"}`+"\n"); rec.Code != http.StatusBadRequest {
+	if rec := doReq(t, h, "POST", "/v1/observe", "", `{"source":"s","object":"","value":"v"}`+"\n"); rec.Code != http.StatusBadRequest {
 		t.Errorf("empty object field = %d, want 400", rec.Code)
 	}
 	// A bad row after good ones still reports the prefix ingested.
 	body := `{"source":"s","object":"o","value":"v"}` + "\n" + "{broken\n"
-	rec := doReq(t, h, "POST", "/observe", "", body)
+	rec := doReq(t, h, "POST", "/v1/observe", "", body)
 	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "ingested 1 claims") {
 		t.Errorf("partial ingest = %d: %s", rec.Code, rec.Body)
 	}
@@ -222,7 +222,7 @@ func TestServeStreamSIGTERM(t *testing.T) {
 	}
 
 	body := ndjsonFromCSV(streamCSV(20))
-	resp, err := http.Post("http://"+addr+"/observe", "application/x-ndjson", strings.NewReader(body))
+	resp, err := http.Post("http://"+addr+"/v1/observe", "application/x-ndjson", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,10 +302,10 @@ func TestStreamSubcommandCheckpointRestore(t *testing.T) {
 // without breaking determinism of the final state.
 func TestServeRefineEndpoint(t *testing.T) {
 	h := testServer(testEngine(t, 2), "", 32).handler()
-	if rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(60)); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "POST", "/v1/observe", "text/csv", streamCSV(60)); rec.Code != http.StatusOK {
 		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
 	}
-	rec := doReq(t, h, "POST", "/refine", "", "")
+	rec := doReq(t, h, "POST", "/v1/refine", "", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("refine = %d: %s", rec.Code, rec.Body)
 	}
@@ -319,16 +319,16 @@ func TestServeRefineEndpoint(t *testing.T) {
 	if resp.Sweeps != 2 || resp.Observations != 180 {
 		t.Errorf("refine response = %+v, want sweeps=2 observations=180", resp)
 	}
-	if rec := doReq(t, h, "POST", "/refine?sweeps=3", "", ""); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "POST", "/v1/refine?sweeps=3", "", ""); rec.Code != http.StatusOK {
 		t.Errorf("refine sweeps=3 = %d: %s", rec.Code, rec.Body)
 	}
 	for _, bad := range []string{"0", "-1", "9999", "two"} {
-		if rec := doReq(t, h, "POST", "/refine?sweeps="+bad, "", ""); rec.Code != http.StatusBadRequest {
+		if rec := doReq(t, h, "POST", "/v1/refine?sweeps="+bad, "", ""); rec.Code != http.StatusBadRequest {
 			t.Errorf("refine sweeps=%s = %d, want 400", bad, rec.Code)
 		}
 	}
-	if rec := doReq(t, h, "GET", "/refine", "", ""); rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /refine = %d, want 405", rec.Code)
+	if rec := doReq(t, h, "GET", "/v1/refine", "", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/refine = %d, want 405", rec.Code)
 	}
 }
 
@@ -357,7 +357,7 @@ func TestServeRefineConcurrentWithIngest(t *testing.T) {
 		wg.Add(1)
 		go func(body string) {
 			defer wg.Done()
-			if rec := doReq(t, h, "POST", "/observe", "", body); rec.Code != http.StatusOK {
+			if rec := doReq(t, h, "POST", "/v1/observe", "", body); rec.Code != http.StatusOK {
 				errs <- fmt.Sprintf("observe = %d: %s", rec.Code, rec.Body)
 			}
 		}(bodies[i])
@@ -366,7 +366,7 @@ func TestServeRefineConcurrentWithIngest(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if rec := doReq(t, h, "POST", "/refine", "", ""); rec.Code != http.StatusOK {
+			if rec := doReq(t, h, "POST", "/v1/refine", "", ""); rec.Code != http.StatusOK {
 				errs <- fmt.Sprintf("refine = %d: %s", rec.Code, rec.Body)
 			}
 		}()
@@ -384,14 +384,14 @@ func TestServeRefineConcurrentWithIngest(t *testing.T) {
 	ref := testServer(testEngine(t, 2), "", 32)
 	hRef := ref.handler()
 	for _, body := range bodies {
-		if rec := doReq(t, hRef, "POST", "/observe", "", body); rec.Code != http.StatusOK {
+		if rec := doReq(t, hRef, "POST", "/v1/observe", "", body); rec.Code != http.StatusOK {
 			t.Fatalf("reference observe = %d", rec.Code)
 		}
 	}
-	doReq(t, h, "POST", "/refine?sweeps=4", "", "")
-	doReq(t, hRef, "POST", "/refine?sweeps=4", "", "")
-	got := doReq(t, h, "GET", "/estimates", "", "").Body.String()
-	want := doReq(t, hRef, "GET", "/estimates", "", "").Body.String()
+	doReq(t, h, "POST", "/v1/refine?sweeps=4", "", "")
+	doReq(t, hRef, "POST", "/v1/refine?sweeps=4", "", "")
+	got := doReq(t, h, "GET", "/v1/estimates", "", "").Body.String()
+	want := doReq(t, hRef, "GET", "/v1/estimates", "", "").Body.String()
 	if got != want {
 		t.Error("estimates after concurrent ingest+refine diverge from sequential reference")
 	}
@@ -423,10 +423,10 @@ func featureEngine(t *testing.T, workers int) *stream.Engine {
 // holds for the v2 checkpoint.
 func TestServeSourcesDetailInOnlineMode(t *testing.T) {
 	h := testServer(featureEngine(t, 2), "", 64).handler()
-	if rec := doReq(t, h, "POST", "/observe", "text/csv", streamCSV(150)); rec.Code != http.StatusOK {
+	if rec := doReq(t, h, "POST", "/v1/observe", "text/csv", streamCSV(150)); rec.Code != http.StatusOK {
 		t.Fatalf("observe = %d: %s", rec.Code, rec.Body)
 	}
-	body := doReq(t, h, "GET", "/sources", "", "").Body.String()
+	body := doReq(t, h, "GET", "/v1/sources", "", "").Body.String()
 	if !strings.HasPrefix(body, "source,accuracy,learned,empirical\n") {
 		t.Fatalf("online /sources missing detail header:\n%s", body)
 	}
@@ -450,14 +450,14 @@ func TestServeSourcesDetailInOnlineMode(t *testing.T) {
 	part1 := strings.Join(all[:cut], "\n") + "\n"
 	part2 := strings.Join(all[cut:], "\n") + "\n"
 	hU := testServer(featureEngine(t, 2), "", 64).handler()
-	doReq(t, hU, "POST", "/observe", "", part1)
-	doReq(t, hU, "POST", "/observe", "", part2)
-	wantSrc := doReq(t, hU, "GET", "/sources", "", "").Body.String()
+	doReq(t, hU, "POST", "/v1/observe", "", part1)
+	doReq(t, hU, "POST", "/v1/observe", "", part2)
+	wantSrc := doReq(t, hU, "GET", "/v1/sources", "", "").Body.String()
 
 	ckpt := filepath.Join(t.TempDir(), "online.ckpt")
 	h1 := testServer(featureEngine(t, 2), ckpt, 64).handler()
-	doReq(t, h1, "POST", "/observe", "", part1)
-	if rec := doReq(t, h1, "POST", "/checkpoint", "", ""); rec.Code != http.StatusOK {
+	doReq(t, h1, "POST", "/v1/observe", "", part1)
+	if rec := doReq(t, h1, "POST", "/v1/checkpoint", "", ""); rec.Code != http.StatusOK {
 		t.Fatalf("checkpoint = %d: %s", rec.Code, rec.Body)
 	}
 	restored, err := stream.RestoreFile(ckpt)
@@ -468,8 +468,8 @@ func TestServeSourcesDetailInOnlineMode(t *testing.T) {
 		t.Fatal("restored engine lost the learner")
 	}
 	h2 := testServer(restored, ckpt, 64).handler()
-	doReq(t, h2, "POST", "/observe", "", part2)
-	if got := doReq(t, h2, "GET", "/sources", "", "").Body.String(); got != wantSrc {
+	doReq(t, h2, "POST", "/v1/observe", "", part2)
+	if got := doReq(t, h2, "GET", "/v1/sources", "", "").Body.String(); got != wantSrc {
 		t.Errorf("restored online /sources diverges from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, wantSrc)
 	}
 }

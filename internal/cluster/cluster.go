@@ -354,7 +354,7 @@ func (r *Router) forwardLocked(ctx context.Context, chunk []stream.Triple, key s
 		if key != "" {
 			nodeKey = key + ".n" + strconv.Itoa(j)
 		}
-		if _, err := r.post(ctx, node+"/observe", "application/x-ndjson", nodeKey, bufs[j].Bytes()); err != nil {
+		if _, err := r.post(ctx, node+"/v1/observe", "application/x-ndjson", nodeKey, bufs[j].Bytes()); err != nil {
 			return fmt.Errorf("cluster: partition %d: %w", j, err)
 		}
 	}
@@ -399,7 +399,7 @@ func (r *Router) barrierLocked(ctx context.Context) error {
 	obs := make([]int64, len(r.names), len(r.names)+16)
 	for _, node := range r.cfg.Nodes {
 		var resp epochResponse
-		if err := r.postEpoch(ctx, node, "/epoch/drain", epochRequest{Tag: tag}, &resp); err != nil {
+		if err := r.postEpoch(ctx, node, "/v1/epoch/drain", epochRequest{Tag: tag}, &resp); err != nil {
 			return err
 		}
 		for _, st := range resp.Sources {
@@ -433,7 +433,7 @@ func (r *Router) barrierLocked(ctx context.Context) error {
 		accs[s] = stream.SourceAccuracy{Source: r.names[s], Accuracy: r.cfg.Opts.EstimateAccuracy(newAgree[s], newTotal[s])}
 	}
 	for _, node := range r.cfg.Nodes {
-		if err := r.postEpoch(ctx, node, "/epoch/apply", epochRequest{Tag: tag, Accuracies: accs}, nil); err != nil {
+		if err := r.postEpoch(ctx, node, "/v1/epoch/apply", epochRequest{Tag: tag, Accuracies: accs}, nil); err != nil {
 			return err
 		}
 	}
@@ -488,7 +488,7 @@ func (r *Router) refineSweepLocked(ctx context.Context, op int64, sweep int) err
 	rows := 0
 	for _, node := range r.cfg.Nodes {
 		var resp epochResponse
-		if err := r.postEpoch(ctx, node, "/epoch/mass", epochRequest{Tag: tag}, &resp); err != nil {
+		if err := r.postEpoch(ctx, node, "/v1/epoch/mass", epochRequest{Tag: tag}, &resp); err != nil {
 			return err
 		}
 		rows += len(resp.Sources)
@@ -510,7 +510,7 @@ func (r *Router) refineSweepLocked(ctx context.Context, op int64, sweep int) err
 		accs[s] = stream.SourceAccuracy{Source: r.names[s], Accuracy: r.cfg.Opts.EstimateAccuracy(mergedA[s], mergedT[s])}
 	}
 	for _, node := range r.cfg.Nodes {
-		if err := r.postEpoch(ctx, node, "/epoch/apply", epochRequest{Tag: tag, Accuracies: accs, Rescore: true}, nil); err != nil {
+		if err := r.postEpoch(ctx, node, "/v1/epoch/apply", epochRequest{Tag: tag, Accuracies: accs, Rescore: true}, nil); err != nil {
 			return err
 		}
 	}
@@ -533,7 +533,7 @@ func (r *Router) Estimates(ctx context.Context, w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i, node := range r.cfg.Nodes {
-		body, err := r.get(ctx, node+"/estimates")
+		body, err := r.get(ctx, node+"/v1/estimates")
 		if err != nil {
 			return fmt.Errorf("cluster: partition %d estimates: %w", i, err)
 		}
@@ -561,7 +561,7 @@ func (r *Router) Sources(ctx context.Context, w io.Writer) error {
 	defer r.mu.Unlock()
 	rows := map[string]string{}
 	for i, node := range r.cfg.Nodes {
-		body, err := r.get(ctx, node+"/sources")
+		body, err := r.get(ctx, node+"/v1/sources")
 		if err != nil {
 			return fmt.Errorf("cluster: partition %d sources: %w", i, err)
 		}
@@ -607,7 +607,7 @@ func (r *Router) Checkpoint(ctx context.Context) error {
 
 func (r *Router) checkpointLocked(ctx context.Context) error {
 	for i, node := range r.cfg.Nodes {
-		if _, err := r.post(ctx, node+"/checkpoint", "", "", nil); err != nil {
+		if _, err := r.post(ctx, node+"/v1/checkpoint", "", "", nil); err != nil {
 			return fmt.Errorf("cluster: partition %d checkpoint: %w", i, err)
 		}
 	}
@@ -700,13 +700,13 @@ func (r *Router) probe(ctx context.Context, partition int, url string) NodeStatu
 // nodes answer, "degraded" otherwise; the per-partition detail says
 // which partitions are dark. Probes never take the router lock.
 func (r *Router) Health(ctx context.Context) (string, []NodeStatus) {
-	return r.probeAll(ctx, "/healthz")
+	return r.probeAll(ctx, "/v1/healthz")
 }
 
 // Ready probes every node's /readyz: "ready" when every partition can
 // take load, "degraded" when some can, "unavailable" when none can.
 func (r *Router) Ready(ctx context.Context) (string, []NodeStatus) {
-	status, nodes := r.probeAll(ctx, "/readyz")
+	status, nodes := r.probeAll(ctx, "/v1/readyz")
 	if status == "ok" {
 		status = "ready"
 	}

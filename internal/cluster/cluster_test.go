@@ -36,7 +36,7 @@ type fakeNode struct {
 
 func (f *fakeNode) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		if f.failObs > 0 {
@@ -67,7 +67,7 @@ func (f *fakeNode) handler() http.Handler {
 		f.claims += n
 		fmt.Fprintf(w, `{"ingested":%d}`+"\n", n)
 	})
-	mux.HandleFunc("POST /epoch/drain", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/epoch/drain", func(w http.ResponseWriter, r *http.Request) {
 		var req epochRequest
 		json.NewDecoder(r.Body).Decode(&req)
 		f.mu.Lock()
@@ -75,7 +75,7 @@ func (f *fakeNode) handler() http.Handler {
 		f.mu.Unlock()
 		json.NewEncoder(w).Encode(epochResponse{Tag: req.Tag, Sources: []stream.SourceStat{}})
 	})
-	mux.HandleFunc("POST /epoch/mass", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/epoch/mass", func(w http.ResponseWriter, r *http.Request) {
 		var req epochRequest
 		json.NewDecoder(r.Body).Decode(&req)
 		f.mu.Lock()
@@ -85,7 +85,7 @@ func (f *fakeNode) handler() http.Handler {
 			{Source: "s0", Agree: 1, Total: 2},
 		}})
 	})
-	mux.HandleFunc("POST /epoch/apply", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/epoch/apply", func(w http.ResponseWriter, r *http.Request) {
 		var req epochRequest
 		json.NewDecoder(r.Body).Decode(&req)
 		f.mu.Lock()
@@ -93,16 +93,16 @@ func (f *fakeNode) handler() http.Handler {
 		f.mu.Unlock()
 		json.NewEncoder(w).Encode(map[string]any{"tag": req.Tag})
 	})
-	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		f.mu.Lock()
 		f.checkpts++
 		f.mu.Unlock()
 		fmt.Fprintln(w, `{}`)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"status":"ready"}`)
 	})
 	return mux

@@ -35,14 +35,18 @@ import (
 // ring, RNG/step counters) after the shard records. v3 adds the
 // ingest idempotency state: the resolved DedupWindow in the options
 // block and the sequence-key ring after the learner section, so a
-// client retry that straddles a restart still deduplicates. Writers
-// always emit the current version; Restore reads all three, so older
-// checkpoints keep warm-booting (with an empty dedup window).
+// client retry that straddles a restart still deduplicates. v4 adds
+// one int64 per live object — the epoch its MAP value last changed —
+// so the query surface's "flipped since epoch E" survives a restart.
+// Writers always emit the current version; Restore reads all four, so
+// older checkpoints keep warm-booting (v3 and older restore with an
+// empty dedup window and/or zeroed flip epochs).
 const (
 	checkpointMagic     = "SFCK"
 	checkpointVersionV1 = uint32(1)
 	checkpointVersionV2 = uint32(2)
-	checkpointVersion   = uint32(3)
+	checkpointVersionV3 = uint32(3)
+	checkpointVersion   = uint32(4)
 )
 
 // maxCheckpointSlots bounds slab and claim counts read from a
@@ -300,6 +304,7 @@ func encodeShard(w *wire.Writer, s int, sn *shardSnapshot) {
 		}
 		w.String(obj.name)
 		w.Int64(obj.epoch)
+		w.Int64(obj.changed)
 		w.Int(obj.prev)
 		w.Int(obj.next)
 		w.Bool(obj.dirty)
@@ -343,7 +348,7 @@ func corruptf(format string, args ...any) error {
 // no partially-restored engine ever escapes.
 func Restore(r io.Reader) (*Engine, error) {
 	rr, version, err := wire.NewReaderVersions(bufio.NewReader(r), checkpointMagic,
-		checkpointVersionV1, checkpointVersionV2, checkpointVersion)
+		checkpointVersionV1, checkpointVersionV2, checkpointVersionV3, checkpointVersion)
 	if err != nil {
 		return nil, fmt.Errorf("stream: restore: %w", err)
 	}
@@ -395,7 +400,7 @@ func Restore(r io.Reader) (*Engine, error) {
 	e.vals.names = valNames
 
 	for s := 0; s < nShards; s++ {
-		if err := decodeShard(rr, e, s, nSrc, len(valNames)); err != nil {
+		if err := decodeShard(rr, version, e, s, nSrc, len(valNames)); err != nil {
 			return nil, err
 		}
 	}
@@ -439,7 +444,7 @@ func Restore(r io.Reader) (*Engine, error) {
 
 // decodeShard reads one shard record into e.shards[s], validating
 // every id and index against the tables decoded so far.
-func decodeShard(rr *wire.Reader, e *Engine, s, nSrc, nVals int) error {
+func decodeShard(rr *wire.Reader, version uint32, e *Engine, s, nSrc, nVals int) error {
 	tag := int(rr.Uint32())
 	nObjs := int(rr.Uint32())
 	if err := rr.Err(); err != nil {
@@ -463,12 +468,16 @@ func decodeShard(rr *wire.Reader, e *Engine, s, nSrc, nVals int) error {
 		sh.objs = append(sh.objs, object{})
 		obj := &sh.objs[ix]
 		if !rr.Bool() {
+			obj.mapIx = -1
 			obj.prev, obj.next = -1, -1
 			continue
 		}
 		obj.live = true
 		obj.name = rr.String()
 		obj.epoch = rr.Int64()
+		if version >= checkpointVersion {
+			obj.changed = rr.Int64()
+		}
 		obj.prev = rr.Int()
 		obj.next = rr.Int()
 		obj.dirty = rr.Bool()
@@ -507,6 +516,10 @@ func decodeShard(rr *wire.Reader, e *Engine, s, nSrc, nVals int) error {
 				return corruptf("shard %d object %q references value id %d of %d", s, obj.name, v, nVals)
 			}
 		}
+		// The cached MAP index is derived state: recompute it from the
+		// restored posterior (pre-v4 checkpoints additionally restore
+		// with changed = 0, so "flipped since E" starts fresh).
+		obj.mapIx = mapIndex(obj, e.vals.names)
 		for i := range obj.claims {
 			c := &obj.claims[i]
 			if int(c.src) < 0 || int(c.src) >= nSrc {

@@ -180,15 +180,17 @@ type claim struct {
 // matching the Fuser, whose domain is always the currently claimed
 // value set.
 type object struct {
-	name   string
-	epoch  int64     // σ-table epoch the scores were computed under
-	claims []claim   // one per claiming source
-	domain []int32   // global value ids, first-seen order
-	refs   []int32   // live claims per domain entry
-	scores []float64 // log-odds accumulator per domain entry
-	post   []float64 // cached posterior per domain entry
-	dirty  bool      // true when post has drifted from settled
-	live   bool      // false for freelist slots
+	name    string
+	epoch   int64     // σ-table epoch the scores were computed under
+	changed int64     // epoch the MAP value last changed (0 until first claim)
+	claims  []claim   // one per claiming source
+	domain  []int32   // global value ids, first-seen order
+	refs    []int32   // live claims per domain entry
+	scores  []float64 // log-odds accumulator per domain entry
+	post    []float64 // cached posterior per domain entry
+	mapIx   int32     // cached domain index of the MAP value, -1 = none
+	dirty   bool      // true when post has drifted from settled
+	live    bool      // false for freelist slots
 	// Intrusive LRU links (shard-local object indices, -1 = none).
 	prev, next int
 }
@@ -525,6 +527,7 @@ func (sh *shard) observe(e *Engine, name string, sid, vid int, sigma float64, ep
 		obj.refs[nw]++
 		obj.claims[ci].val = int32(vid)
 		obj.refreshPosterior()
+		obj.noteMAP(e.valueNames(), epoch)
 	default:
 		obj.claims = append(obj.claims, claim{src: int32(sid), val: int32(vid)})
 		sh.deltaTotal[sid]++
@@ -532,6 +535,7 @@ func (sh *shard) observe(e *Engine, name string, sid, vid int, sigma float64, ep
 		obj.scores[nw] += sigma
 		obj.refs[nw]++
 		obj.refreshPosterior()
+		obj.noteMAP(e.valueNames(), epoch)
 	}
 	if !obj.dirty {
 		obj.dirty = true
@@ -578,7 +582,39 @@ func (sh *shard) rescore(e *Engine, obj *object, epoch int64) {
 	}
 	e.src.mu.RUnlock()
 	obj.refreshPosterior()
+	obj.noteMAP(e.valueNames(), epoch)
 	obj.epoch = epoch
+}
+
+// noteMAP refreshes the cached MAP domain index after a posterior
+// change and stamps the flip epoch when the MAP value moved — the
+// bookkeeping behind Row.Changed ("estimates that flipped since epoch
+// E"). An object's very first claim counts as a flip: the estimate
+// appeared. Caller holds the shard lock.
+func (o *object) noteMAP(valNames []string, epoch int64) {
+	ix := mapIndex(o, valNames)
+	if ix >= 0 && ix != o.mapIx {
+		o.mapIx = ix
+		o.changed = epoch
+	}
+}
+
+// mapIndex returns the domain index of the object's MAP value under
+// the engine's tie-break (ties go to the lexically smaller value
+// name), or -1 when the object has no posterior yet. Caller holds the
+// shard lock and passes a valueNames() snapshot.
+func mapIndex(o *object, valNames []string) int32 {
+	if len(o.post) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(o.domain); i++ {
+		if o.post[i] > o.post[best] ||
+			(o.post[i] == o.post[best] && valNames[o.domain[i]] < valNames[o.domain[best]]) {
+			best = i
+		}
+	}
+	return int32(best)
 }
 
 // ensureSource grows the shard-local per-source vectors to cover sid.
@@ -602,16 +638,18 @@ func (sh *shard) insert(e *Engine, name string, epoch int64) int {
 		obj := &sh.objs[ix]
 		obj.name = name
 		obj.epoch = epoch
+		obj.changed = 0
 		obj.claims = obj.claims[:0]
 		obj.domain = obj.domain[:0]
 		obj.refs = obj.refs[:0]
 		obj.scores = obj.scores[:0]
 		obj.post = obj.post[:0]
+		obj.mapIx = -1
 		obj.dirty = false
 		obj.live = true
 	} else {
 		ix = len(sh.objs)
-		sh.objs = append(sh.objs, object{name: name, epoch: epoch, live: true, prev: -1, next: -1})
+		sh.objs = append(sh.objs, object{name: name, epoch: epoch, live: true, mapIx: -1, prev: -1, next: -1})
 	}
 	sh.index[name] = ix
 	sh.lruPush(ix)

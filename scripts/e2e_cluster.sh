@@ -95,7 +95,7 @@ start_proc "$WORK/router.log" "$WORK/slimfast" router -listen 127.0.0.1:0 \
 ROUTER="$ADDR"
 ROUTER_PID="$LAST_PID"
 
-curl -fsS "http://$ROUTER/healthz" | grep -q '"status":"ok"' || {
+curl -fsS "http://$ROUTER/v1/healthz" | grep -q '"status":"ok"' || {
 	echo "cluster not healthy at boot" >&2
 	exit 1
 }
@@ -109,7 +109,7 @@ kill -9 "$P1" && wait "$P1" 2>/dev/null || true
 [ -s "$WORK/node1.ckpt" ] || { echo "partition 1 left no checkpoint" >&2; exit 1; }
 
 echo "== router degrades per partition while the node is down"
-READY="$(curl -sS "http://$ROUTER/readyz")"
+READY="$(curl -sS "http://$ROUTER/v1/readyz")"
 echo "$READY" | grep -q '"status":"degraded"' || {
 	echo "readyz did not degrade: $READY" >&2
 	exit 1
@@ -126,7 +126,7 @@ grep -q '^# restored ' "$WORK/node1.log" || {
 	cat "$WORK/node1.log" >&2
 	exit 1
 }
-curl -fsS "http://$ROUTER/readyz" | grep -q '"status":"ready"' || {
+curl -fsS "http://$ROUTER/v1/readyz" | grep -q '"status":"ready"' || {
 	echo "cluster not ready after the restore" >&2
 	exit 1
 }
@@ -136,11 +136,11 @@ echo "== re-replay part 1 under the same keys: claims lost in the crash re-inges
 
 echo "== ingest part 2, cluster-wide refine"
 "$WORK/slimfast" replay -obs "$WORK/part2.csv" -to "http://$ROUTER" -batch 32 -seq-prefix p2 > "$WORK/replay2.log"
-curl -fsS -X POST "http://$ROUTER/refine?sweeps=2" > /dev/null
+curl -fsS -X POST "http://$ROUTER/v1/refine?sweeps=2" > /dev/null
 
 echo "== compare the cluster to the single-node reference"
-curl -fsS "http://$ROUTER/estimates" > "$WORK/cluster.estimates.csv"
-curl -fsS "http://$ROUTER/sources" > "$WORK/cluster.sources.csv"
+curl -fsS "http://$ROUTER/v1/estimates" > "$WORK/cluster.estimates.csv"
+curl -fsS "http://$ROUTER/v1/sources" > "$WORK/cluster.sources.csv"
 diff "$WORK/ref.estimates.csv" "$WORK/cluster.estimates.csv" || {
 	echo "FAIL: cluster /estimates diverged from the single-node reference" >&2
 	exit 1
@@ -152,8 +152,24 @@ diff "$WORK/ref.sources.csv" "$WORK/cluster.sources.csv" || {
 lines="$(wc -l < "$WORK/cluster.estimates.csv")"
 [ "$lines" -gt 100 ] || { echo "FAIL: suspiciously small estimate set ($lines lines)" >&2; exit 1; }
 
+echo "== query surface: slimfast query against the live router"
+"$WORK/slimfast" query -to "http://$ROUTER" 'order=-contested,object&limit=5' > "$WORK/query.top.csv"
+qlines="$(wc -l < "$WORK/query.top.csv")"
+[ "$qlines" = "6" ] || { echo "FAIL: top-5 query returned $qlines lines, want 6" >&2; cat "$WORK/query.top.csv" >&2; exit 1; }
+head -n1 "$WORK/query.top.csv" | grep -q '^object,value,confidence$' || {
+	echo "FAIL: query header wrong:" >&2
+	cat "$WORK/query.top.csv" >&2
+	exit 1
+}
+"$WORK/slimfast" query -to "http://$ROUTER" -format json 'group=value&agg=count' > "$WORK/query.group.ndjson"
+head -n1 "$WORK/query.group.ndjson" | grep -q '"value":' || {
+	echo "FAIL: NDJSON group query malformed:" >&2
+	cat "$WORK/query.group.ndjson" >&2
+	exit 1
+}
+
 echo "== members refuse a direct refine (the router owns the epochs)"
-code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$N0/refine")"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$N0/v1/refine")"
 [ "$code" = "409" ] || { echo "FAIL: member answered refine with $code, want 409" >&2; exit 1; }
 
 echo "== SIGTERM: router persists the manifest on shutdown"

@@ -67,7 +67,7 @@ start_server() {
 }
 
 post_csv() { # addr file
-	curl -fsS -X POST -H 'Content-Type: text/csv' --data-binary @"$2" "http://$1/observe" > /dev/null
+	curl -fsS -X POST -H 'Content-Type: text/csv' --data-binary @"$2" "http://$1/v1/observe" > /dev/null
 }
 
 # restart_suite LABEL [extra server flags...] — the full proof for one
@@ -77,12 +77,12 @@ restart_suite() {
 
 	echo "== [$MODE] uninterrupted run"
 	start_server "$WORK/$MODE.uninterrupted.log" "$@"
-	curl -fsS "http://$ADDR/healthz" > /dev/null
+	curl -fsS "http://$ADDR/v1/healthz" > /dev/null
 	post_csv "$ADDR" "$WORK/part1.csv"
 	post_csv "$ADDR" "$WORK/part2.csv"
-	curl -fsS -X POST "http://$ADDR/refine?sweeps=2" > /dev/null
-	curl -fsS "http://$ADDR/estimates" > "$WORK/$MODE.estimates.uninterrupted.csv"
-	curl -fsS "http://$ADDR/sources" > "$WORK/$MODE.sources.uninterrupted.csv"
+	curl -fsS -X POST "http://$ADDR/v1/refine?sweeps=2" > /dev/null
+	curl -fsS "http://$ADDR/v1/estimates" > "$WORK/$MODE.estimates.uninterrupted.csv"
+	curl -fsS "http://$ADDR/v1/sources" > "$WORK/$MODE.sources.uninterrupted.csv"
 	kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
 	SRV_PID=""
 
@@ -90,7 +90,7 @@ restart_suite() {
 	CKPT="$WORK/$MODE.engine.ckpt"
 	start_server "$WORK/$MODE.run1.log" -checkpoint "$CKPT" "$@"
 	post_csv "$ADDR" "$WORK/part1.csv"
-	curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
+	curl -fsS -X POST "http://$ADDR/v1/checkpoint" > /dev/null
 	kill -9 "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true # hard kill: the checkpoint must carry everything
 	SRV_PID=""
 	[ -s "$CKPT" ] || { echo "[$MODE] checkpoint file missing" >&2; exit 1; }
@@ -99,9 +99,9 @@ restart_suite() {
 	start_server "$WORK/$MODE.run2.log" -restore "$CKPT" -checkpoint "$CKPT" "$@"
 	grep -q '^# restored ' "$WORK/$MODE.run2.log" || { echo "[$MODE] server did not restore:" >&2; cat "$WORK/$MODE.run2.log" >&2; exit 1; }
 	post_csv "$ADDR" "$WORK/part2.csv"
-	curl -fsS -X POST "http://$ADDR/refine?sweeps=2" > /dev/null
-	curl -fsS "http://$ADDR/estimates" > "$WORK/$MODE.estimates.restored.csv"
-	curl -fsS "http://$ADDR/sources" > "$WORK/$MODE.sources.restored.csv"
+	curl -fsS -X POST "http://$ADDR/v1/refine?sweeps=2" > /dev/null
+	curl -fsS "http://$ADDR/v1/estimates" > "$WORK/$MODE.estimates.restored.csv"
+	curl -fsS "http://$ADDR/v1/sources" > "$WORK/$MODE.sources.restored.csv"
 
 	echo "== [$MODE] SIGTERM writes a shutdown checkpoint"
 	kill -TERM "$SRV_PID"
@@ -142,10 +142,10 @@ corruption_suite() {
 	CKPT="$WORK/corrupt.engine.ckpt"
 	start_server "$WORK/corrupt.run1.log" -checkpoint "$CKPT" -checkpoint-keep 3
 	post_csv "$ADDR" "$WORK/part1.csv"
-	curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
-	curl -fsS "http://$ADDR/estimates" > "$WORK/corrupt.estimates.gen1.csv"
+	curl -fsS -X POST "http://$ADDR/v1/checkpoint" > /dev/null
+	curl -fsS "http://$ADDR/v1/estimates" > "$WORK/corrupt.estimates.gen1.csv"
 	post_csv "$ADDR" "$WORK/part2.csv"
-	curl -fsS -X POST "http://$ADDR/checkpoint" > /dev/null
+	curl -fsS -X POST "http://$ADDR/v1/checkpoint" > /dev/null
 	kill -9 "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
 	SRV_PID=""
 	[ -s "$CKPT" ] && [ -s "$CKPT.1" ] || {
@@ -173,7 +173,7 @@ corruption_suite() {
 		cat "$WORK/corrupt.run2.log" >&2
 		exit 1
 	}
-	curl -fsS "http://$ADDR/estimates" > "$WORK/corrupt.estimates.restored.csv"
+	curl -fsS "http://$ADDR/v1/estimates" > "$WORK/corrupt.estimates.restored.csv"
 	diff "$WORK/corrupt.estimates.gen1.csv" "$WORK/corrupt.estimates.restored.csv" || {
 		echo "FAIL [corrupt]: fallback generation is not bit-exact" >&2
 		exit 1
@@ -181,8 +181,8 @@ corruption_suite() {
 
 	echo "== [corrupt] finishing the ingest converges with the uninterrupted run"
 	post_csv "$ADDR" "$WORK/part2.csv"
-	curl -fsS -X POST "http://$ADDR/refine?sweeps=2" > /dev/null
-	curl -fsS "http://$ADDR/estimates" > "$WORK/corrupt.estimates.final.csv"
+	curl -fsS -X POST "http://$ADDR/v1/refine?sweeps=2" > /dev/null
+	curl -fsS "http://$ADDR/v1/estimates" > "$WORK/corrupt.estimates.final.csv"
 	kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
 	SRV_PID=""
 	diff "$WORK/plain.estimates.uninterrupted.csv" "$WORK/corrupt.estimates.final.csv" || {
