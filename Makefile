@@ -40,10 +40,10 @@ lint:
 	$(GO) vet ./...
 
 ## cover: streaming-engine + online-learner + resilience + query-layer
-## coverage with the ratcheted >=80% gates CI enforces; leaves the
-## merged cover.out for `go tool cover -html=cover.out`
+## + observability coverage with the ratcheted >=80% gates CI
+## enforces; leaves the merged cover.out for `go tool cover -html=cover.out`
 cover:
-	./scripts/covergate cover.out ./internal/stream/ 80 ./internal/online/ 80 ./internal/resilience/ 80 ./internal/query/ 80
+	./scripts/covergate cover.out ./internal/stream/ 80 ./internal/online/ 80 ./internal/resilience/ 80 ./internal/query/ 80 ./internal/obs/ 80
 
 ## serve: run the streaming engine as an HTTP service on :8080 with a
 ## durable checkpoint — restarting the target resumes where it left off

@@ -1,6 +1,9 @@
 // HTTP plumbing shared by the node server (serve.go) and the cluster
 // router (router.go): JSON responses, panic recovery, and the claim
-// body parser both ingest surfaces accept.
+// body parser both ingest surfaces accept. Response-write failures (a
+// client that hung up mid-response) log through the request-scoped
+// slog logger, so the record carries the request ID, method and path
+// instead of an anonymous "# WARNING" line.
 package main
 
 import (
@@ -9,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strings"
@@ -17,20 +21,27 @@ import (
 	"slimfast/internal/resilience"
 )
 
-// writeJSONTo writes a JSON response; encode/write failures (a client
-// that hung up mid-response) are logged, not dropped.
-func writeJSONTo(w http.ResponseWriter, logw io.Writer, code int, v any) {
+// writeJSONLog writes a JSON response; encode/write failures are
+// logged on log (request-scoped when called through a server's
+// writeJSON method), not dropped.
+func writeJSONLog(w http.ResponseWriter, log *slog.Logger, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		fmt.Fprintf(logw, "# WARNING: writing JSON response: %v\n", err)
+		log.Warn("writing JSON response failed", slog.Any("error", err))
 	}
+}
+
+// writeJSONTo is the io.Writer form of writeJSONLog for callers with
+// no request in hand; it logs through a throwaway text logger on logw.
+func writeJSONTo(w http.ResponseWriter, logw io.Writer, code int, v any) {
+	writeJSONLog(w, newComponentLogger("text", logw, "http"), code, v)
 }
 
 // errorCode maps an HTTP status to the machine-readable code of the
 // uniform error envelope. 503 defaults to "shed" (admission pressure);
 // sites where a 503 really means a deadline (the ingest-lock wait)
-// override it through httpErrorCodeTo.
+// override it through httpErrorCodeLog.
 func errorCode(status int) string {
 	switch status {
 	case http.StatusRequestTimeout:
@@ -46,40 +57,57 @@ func errorCode(status int) string {
 	}
 }
 
-// httpErrorTo writes the uniform JSON error envelope every endpoint
+// httpErrorLog writes the uniform JSON error envelope every endpoint
 // uses: {"error": ..., "code": shed|timeout|bad_request|conflict|internal},
 // with the code derived from the status.
-func httpErrorTo(w http.ResponseWriter, logw io.Writer, status int, msg string) {
-	httpErrorCodeTo(w, logw, status, errorCode(status), msg)
+func httpErrorLog(w http.ResponseWriter, log *slog.Logger, status int, msg string) {
+	httpErrorCodeLog(w, log, status, errorCode(status), msg)
 }
 
-// httpErrorCodeTo writes the error envelope with an explicit code.
-func httpErrorCodeTo(w http.ResponseWriter, logw io.Writer, status int, code, msg string) {
-	writeJSONTo(w, logw, status, map[string]any{"error": msg, "code": code})
+// httpErrorCodeLog writes the error envelope with an explicit code.
+func httpErrorCodeLog(w http.ResponseWriter, log *slog.Logger, status int, code, msg string) {
+	writeJSONLog(w, log, status, map[string]any{"error": msg, "code": code})
+}
+
+// httpErrorTo is the io.Writer form of httpErrorLog.
+func httpErrorTo(w http.ResponseWriter, logw io.Writer, status int, msg string) {
+	httpErrorLog(w, newComponentLogger("text", logw, "http"), status, msg)
 }
 
 // handleBoth mounts a "METHOD /path" pattern at both its unversioned
-// path and under /v1. The /v1 form is canonical; the bare path is a
-// deprecated alias kept for one release (see README).
-func handleBoth(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
-	mux.HandleFunc(pattern, h)
+// path and under /v1, instrumented with the canonical /v1 route label
+// on both mounts. The /v1 form is canonical; the bare path is a
+// deprecated alias kept for one release (see README) — it counts into
+// slimfast_deprecated_requests_total and logs a structured warning.
+func handleBoth(mux *http.ServeMux, pattern string, h http.HandlerFunc, ins *instrumentor) {
 	method, path, ok := strings.Cut(pattern, " ")
 	if !ok {
 		panic("handleBoth: pattern must be \"METHOD /path\"")
 	}
-	mux.HandleFunc(method+" /v1"+path, h)
+	routed := ins.route("/v1"+path, h)
+	mux.HandleFunc(method+" /v1"+path, routed)
+	mux.HandleFunc(pattern, ins.deprecated(path, routed))
 }
+
+// stackTrace is the panic-site stack for the middleware's PANIC log.
+func stackTrace() []byte { return debug.Stack() }
 
 // recoverPanicsTo turns a handler panic into a logged 500 so one
 // poisoned request cannot take the connection (or a test binary) down
-// with it. net/http would swallow the panic per-connection anyway, but
-// silently and without a response.
+// with it. The serving surfaces run the instrumentor's middleware
+// instead (same recovery, plus tracing and metrics); this standalone
+// form remains for handlers built without an instrumentor.
 func recoverPanicsTo(logw io.Writer, next http.Handler) http.Handler {
+	log := newComponentLogger("text", logw, "http")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				fmt.Fprintf(logw, "# PANIC %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				httpErrorTo(w, logw, http.StatusInternalServerError, "internal error")
+				log.Error("PANIC recovered",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", rec),
+					slog.String("stack", string(stackTrace())))
+				httpErrorLog(w, log, http.StatusInternalServerError, "internal error")
 			}
 		}()
 		next.ServeHTTP(w, r)

@@ -1,0 +1,209 @@
+// HTTP instrumentation shared by the node server and the cluster
+// router: the slimfast_http_* metric families, the X-Request-ID
+// tracing middleware, and the per-route wrapper that counts, times and
+// access-logs every request. All of it is allocation-frugal — the
+// request-duration child is resolved once at mount, status labels are
+// precomputed, and counter increments are single atomic adds — so the
+// instrumented /observe path stays inside the benchdiff allocation
+// gate.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"slimfast/internal/obs"
+	"slimfast/internal/resilience"
+)
+
+// httpMetrics is the serving-surface instrumentation seam. The zero
+// value is a no-op (every obs method is nil-safe), so handlers never
+// guard their increments.
+type httpMetrics struct {
+	// requests counts completed requests by canonical route and status;
+	// duration times them by route.
+	requests *obs.CounterVec
+	duration *obs.HistogramVec
+	// inflight is the number of requests currently inside a handler.
+	inflight *obs.Gauge
+	// deprecated counts hits on the unversioned alias paths slated for
+	// removal — the signal that it is safe to drop them.
+	deprecated *obs.CounterVec
+	// panics counts requests recovered into a 500 by the middleware.
+	panics *obs.Counter
+	// shed / timeouts / dedupReplays break the interesting non-2xx
+	// flavors out of the status labels: admission-gate 429s, ingest-lock
+	// deadline 503s, and idempotency-key replays acknowledged without
+	// re-ingesting.
+	shed         *obs.Counter
+	timeouts     *obs.Counter
+	dedupReplays *obs.Counter
+}
+
+// newHTTPMetrics registers the slimfast_http_* families on reg.
+func newHTTPMetrics(reg *obs.Registry) httpMetrics {
+	return httpMetrics{
+		requests:     reg.CounterVec("slimfast_http_requests_total", "Completed HTTP requests by canonical route and status.", "route", "status"),
+		duration:     reg.HistogramVec("slimfast_http_request_duration_seconds", "Request latency by canonical route.", nil, "route"),
+		inflight:     reg.Gauge("slimfast_http_inflight_requests", "Requests currently being served."),
+		deprecated:   reg.CounterVec("slimfast_deprecated_requests_total", "Hits on deprecated unversioned alias paths.", "path"),
+		panics:       reg.Counter("slimfast_http_panics_total", "Handler panics recovered into 500 responses."),
+		shed:         reg.Counter("slimfast_http_shed_total", "Requests shed with 429 by the admission gate."),
+		timeouts:     reg.Counter("slimfast_http_timeouts_total", "Requests that gave up waiting for the ingest lock."),
+		dedupReplays: reg.Counter("slimfast_http_dedup_replays_total", "Idempotent ingest replays acknowledged without re-ingesting."),
+	}
+}
+
+// statusLabels maps every HTTP status to its preformatted label so the
+// per-request counter increment never formats an integer.
+var statusLabels = func() map[int]string {
+	m := make(map[int]string, 500)
+	for code := 100; code < 600; code++ {
+		m[code] = strconv.Itoa(code)
+	}
+	return m
+}()
+
+// statusLabel returns the metric label for an HTTP status.
+func statusLabel(code int) string {
+	if s, ok := statusLabels[code]; ok {
+		return s
+	}
+	return strconv.Itoa(code)
+}
+
+// statusWriter records the response status for metrics and access
+// logs. Unwrap exposes the underlying writer so http.ResponseController
+// (the body read-deadline in handleObserve) still reaches the real
+// connection through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// ridSource mints request IDs: a random per-process prefix plus an
+// atomic counter, so IDs are unique across restarts without per-request
+// entropy reads.
+type ridSource struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+func newRIDSource() *ridSource {
+	var b [6]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return &ridSource{prefix: hex.EncodeToString(b[:])}
+}
+
+func (g *ridSource) next() string {
+	return g.prefix + "-" + strconv.FormatUint(g.n.Add(1), 10)
+}
+
+// instrumentor bundles what the middleware and route wrappers need:
+// the metric families, the component logger, and the ID mint.
+type instrumentor struct {
+	met  httpMetrics
+	log  *slog.Logger
+	rids *ridSource
+}
+
+func newInstrumentor(reg *obs.Registry, log *slog.Logger) *instrumentor {
+	return &instrumentor{met: newHTTPMetrics(reg), log: log, rids: newRIDSource()}
+}
+
+// middleware is the outermost layer on both serving surfaces: it
+// adopts or mints the X-Request-ID, echoes it on the response, plants
+// the request-scoped logger in the context, and recovers panics into
+// logged 500s (the structured successor of the old "# PANIC" line).
+func (ins *instrumentor) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(resilience.RequestIDHeader)
+		if id == "" {
+			id = ins.rids.next()
+		}
+		w.Header().Set(resilience.RequestIDHeader, id)
+		log := ins.log.With(
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+		)
+		r = r.WithContext(withLogger(resilience.WithRequestID(r.Context(), id), log))
+		defer func() {
+			if rec := recover(); rec != nil {
+				ins.met.panics.Inc()
+				log.Error("PANIC recovered",
+					slog.Any("panic", rec),
+					slog.String("stack", string(stackTrace())))
+				writeJSONLog(w, log, http.StatusInternalServerError,
+					map[string]any{"error": "internal error", "code": "internal"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// route wraps one handler with the per-route instrumentation: the
+// in-flight gauge, the route/status request counter, the latency
+// histogram (its child resolved once, here at mount), and a
+// debug-level access record on the request-scoped logger.
+func (ins *instrumentor) route(route string, h http.HandlerFunc) http.HandlerFunc {
+	dur := ins.met.duration.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		ins.met.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			ins.met.inflight.Add(-1)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			ins.met.requests.With(route, statusLabel(status)).Inc()
+			elapsed := time.Since(began)
+			dur.Observe(elapsed.Seconds())
+			log := requestLogger(r.Context(), ins.log)
+			if log.Enabled(r.Context(), slog.LevelDebug) {
+				log.LogAttrs(r.Context(), slog.LevelDebug, "request served",
+					slog.String("route", route),
+					slog.Int("status", status),
+					slog.Duration("elapsed", elapsed))
+			}
+		}()
+		h(sw, r)
+	}
+}
+
+// deprecated wraps the unversioned alias mount of a route: every hit
+// increments slimfast_deprecated_requests_total{path} and logs a
+// structured warning naming the /v1 replacement, then serves normally.
+func (ins *instrumentor) deprecated(path string, h http.HandlerFunc) http.HandlerFunc {
+	hits := ins.met.deprecated.With(path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		hits.Inc()
+		requestLogger(r.Context(), ins.log).Warn("deprecated unversioned path",
+			slog.String("deprecated_path", path),
+			slog.String("use", "/v1"+path))
+		h(w, r)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"slimfast/internal/cluster"
+	"slimfast/internal/obs"
 	"slimfast/internal/query"
 	"slimfast/internal/resilience"
 	"slimfast/internal/stream"
@@ -65,7 +67,12 @@ func runRouter(args []string, stdout io.Writer) error {
 	attempts := fs.Int("attempts", 5, "delivery attempts per node request before the operation fails")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt node request timeout")
 	seed := fs.Int64("seed", 1, "backoff jitter seed")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validLogFormat(*logFormat); err != nil {
 		return err
 	}
 	if *nodesFlag == "" {
@@ -80,6 +87,7 @@ func runRouter(args []string, stdout io.Writer) error {
 			nodes = append(nodes, n)
 		}
 	}
+	reg := obs.NewRegistry()
 	opts := stream.DefaultOptions()
 	opts.Decay = *decay
 	rt, err := cluster.New(cluster.Config{
@@ -95,33 +103,68 @@ func runRouter(args []string, stdout io.Writer) error {
 			PerTryTimeout: *timeout,
 			Seed:          *seed,
 		},
-		Log: stdout,
+		Log:     stdout,
+		Metrics: cluster.NewMetrics(reg),
 	})
 	if err != nil {
 		return err
 	}
-	return serveRouter(rt, *listen, stdout)
+	if *pprofAddr != "" {
+		if _, err := startPprof(*pprofAddr, stdout); err != nil {
+			return err
+		}
+	}
+	return serveRouter(newRouterServer(rt, stdout, reg, *logFormat), *listen, stdout)
 }
 
 // routerServer wires the cluster router to the HTTP handlers.
 type routerServer struct {
 	rt   *cluster.Router
 	logw io.Writer
+	log  *slog.Logger
+	reg  *obs.Registry
+	ins  *instrumentor
+}
+
+// newRouterServer builds the router's HTTP layer; a nil registry gets
+// a fresh one, so tests and callers without engine metrics still serve
+// /v1/metrics with the HTTP families.
+func newRouterServer(rt *cluster.Router, logw io.Writer, reg *obs.Registry, logFormat string) *routerServer {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := newComponentLogger(logFormat, logw, "router")
+	return &routerServer{
+		rt:   rt,
+		logw: logw,
+		log:  log,
+		reg:  reg,
+		ins:  newInstrumentor(reg, log),
+	}
 }
 
 // Routes mount at /v1 and the deprecated unversioned alias, exactly
 // like a member node: clients cannot tell a cluster from one engine.
 func (s *routerServer) handler() http.Handler {
 	mux := http.NewServeMux()
-	handleBoth(mux, "POST /observe", s.handleObserve)
-	handleBoth(mux, "GET /estimates", s.handleEstimates)
-	handleBoth(mux, "GET /sources", s.handleSources)
-	handleBoth(mux, "GET /features", s.handleFeatures)
-	handleBoth(mux, "POST /refine", s.handleRefine)
-	handleBoth(mux, "POST /checkpoint", s.handleCheckpoint)
-	handleBoth(mux, "GET /healthz", s.handleHealthz)
-	handleBoth(mux, "GET /readyz", s.handleReadyz)
-	return recoverPanicsTo(s.logw, mux)
+	handleBoth(mux, "POST /observe", s.handleObserve, s.ins)
+	handleBoth(mux, "GET /estimates", s.handleEstimates, s.ins)
+	handleBoth(mux, "GET /sources", s.handleSources, s.ins)
+	handleBoth(mux, "GET /features", s.handleFeatures, s.ins)
+	handleBoth(mux, "POST /refine", s.handleRefine, s.ins)
+	handleBoth(mux, "POST /checkpoint", s.handleCheckpoint, s.ins)
+	handleBoth(mux, "GET /healthz", s.handleHealthz, s.ins)
+	handleBoth(mux, "GET /readyz", s.handleReadyz, s.ins)
+	mux.HandleFunc("GET /v1/metrics", s.ins.route("/v1/metrics", s.reg.Handler().ServeHTTP))
+	return s.ins.middleware(mux)
+}
+
+func (s *routerServer) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
+	writeJSONLog(w, requestLogger(r.Context(), s.log), code, v)
+}
+
+func (s *routerServer) httpError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	httpErrorLog(w, requestLogger(r.Context(), s.log), code, msg)
 }
 
 // handleObserve parses a claim body exactly like a member node and
@@ -134,11 +177,11 @@ func (s *routerServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpErrorTo(w, s.logw, http.StatusRequestEntityTooLarge,
+			s.httpError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("observe: body exceeds %d bytes; split the stream into smaller requests", tooBig.Limit))
 			return
 		}
-		httpErrorTo(w, s.logw, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
 		return
 	}
 	var claims []stream.Triple
@@ -153,28 +196,33 @@ func (s *routerServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// Unlike a member node, nothing was forwarded yet: the router
 		// parses the whole body before fan-out, so a bad row rejects the
 		// request atomically.
-		httpErrorTo(w, s.logw, http.StatusBadRequest, fmt.Sprintf("observe: %v", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Sprintf("observe: %v", err))
 		return
 	}
+	// The fan-out inherits r.Context(), so the resilience client stamps
+	// this request's X-Request-ID on every member delivery — one ID
+	// traces a claim batch from the router through every partition log.
 	res, err := s.rt.Ingest(r.Context(), claims, seqKey(r))
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
-		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		s.httpError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSONTo(w, s.logw, http.StatusOK, res)
+	requestLogger(r.Context(), s.log).LogAttrs(r.Context(), slog.LevelInfo, "fanned out claims",
+		slog.Int("claims", len(claims)), slog.String("seq", seqKey(r)))
+	s.writeJSON(w, r, http.StatusOK, res)
 }
 
 // serveResult renders a merged query result in the negotiated format.
-func (s *routerServer) serveResult(w http.ResponseWriter, res *query.Result, format string) {
+func (s *routerServer) serveResult(w http.ResponseWriter, r *http.Request, res *query.Result, format string) {
 	var buf bytes.Buffer
 	if err := query.Write(&buf, res, format); err != nil {
-		httpErrorTo(w, s.logw, http.StatusInternalServerError, err.Error())
+		s.httpError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", resultContentType(format))
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		fmt.Fprintf(s.logw, "# WARNING: writing query response: %v\n", err)
+		requestLogger(r.Context(), s.log).Warn("writing query response failed", slog.Any("error", err))
 	}
 }
 
@@ -185,25 +233,25 @@ func (s *routerServer) serveResult(w http.ResponseWriter, res *query.Result, for
 func (s *routerServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	q, err := query.Parse(r.URL.Query(), query.EstimateColumns())
 	if err != nil {
-		httpErrorTo(w, s.logw, http.StatusBadRequest, "estimates: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "estimates: "+err.Error())
 		return
 	}
 	format, err := negotiateFormat(r)
 	if err != nil {
-		httpErrorTo(w, s.logw, http.StatusBadRequest, "estimates: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "estimates: "+err.Error())
 		return
 	}
 	if q.IsPlain() && format == "csv" {
-		s.serveCSV(w, s.rt.Estimates)
+		s.serveCSV(w, r, s.rt.Estimates)
 		return
 	}
 	res, err := s.rt.Query(r.Context(), q)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
-		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		s.httpError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	s.serveResult(w, res, format)
+	s.serveResult(w, r, res, format)
 }
 
 // handleSources serves cluster-wide source accuracies with the same
@@ -216,35 +264,35 @@ func (s *routerServer) handleSources(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := query.Parse(r.URL.Query(), cols)
 	if err != nil {
-		httpErrorTo(w, s.logw, http.StatusBadRequest, "sources: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "sources: "+err.Error())
 		return
 	}
 	format, err := negotiateFormat(r)
 	if err != nil {
-		httpErrorTo(w, s.logw, http.StatusBadRequest, "sources: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "sources: "+err.Error())
 		return
 	}
 	if q.IsPlain() && format == "csv" {
-		s.serveCSV(w, s.rt.Sources)
+		s.serveCSV(w, r, s.rt.Sources)
 		return
 	}
 	var buf strings.Builder
 	if err := s.rt.Sources(r.Context(), &buf); err != nil {
 		w.Header().Set("Retry-After", "1")
-		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		s.httpError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	rel, err := parseSourcesCSV(buf.String(), cols)
 	if err != nil {
-		httpErrorTo(w, s.logw, http.StatusInternalServerError, err.Error())
+		s.httpError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	res, err := query.ExecuteRelation(rel, q)
 	if err != nil {
-		httpErrorTo(w, s.logw, http.StatusBadRequest, "sources: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "sources: "+err.Error())
 		return
 	}
-	s.serveResult(w, res, format)
+	s.serveResult(w, r, res, format)
 }
 
 // parseSourcesCSV rebuilds the merged sources table as a relation.
@@ -277,28 +325,28 @@ func parseSourcesCSV(body string, cols []query.Column) (*query.Relation, error) 
 func (s *routerServer) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	body, err := s.rt.Features(r.Context())
 	if err != nil {
-		httpErrorTo(w, s.logw, http.StatusConflict,
+		s.httpError(w, r, http.StatusConflict,
 			"features: no member has an online learner: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	if _, err := w.Write(body); err != nil {
-		fmt.Fprintf(s.logw, "# WARNING: writing features response: %v\n", err)
+		requestLogger(r.Context(), s.log).Warn("writing features response failed", slog.Any("error", err))
 	}
 }
 
 // serveCSV buffers the scatter-gather merge so a partition failure
 // mid-gather becomes a clean 503 instead of a truncated 200.
-func (s *routerServer) serveCSV(w http.ResponseWriter, gather func(context.Context, io.Writer) error) {
+func (s *routerServer) serveCSV(w http.ResponseWriter, r *http.Request, gather func(context.Context, io.Writer) error) {
 	var buf strings.Builder
 	if err := gather(context.Background(), &buf); err != nil {
 		w.Header().Set("Retry-After", "1")
-		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		s.httpError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	if _, err := io.WriteString(w, buf.String()); err != nil {
-		fmt.Fprintf(s.logw, "# WARNING: writing CSV response: %v\n", err)
+		requestLogger(r.Context(), s.log).Warn("writing CSV response failed", slog.Any("error", err))
 	}
 }
 
@@ -307,7 +355,7 @@ func (s *routerServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("sweeps"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 || n > maxRefineSweeps {
-			httpErrorTo(w, s.logw, http.StatusBadRequest,
+			s.httpError(w, r, http.StatusBadRequest,
 				fmt.Sprintf("refine: sweeps must be an integer in [1,%d], got %q", maxRefineSweeps, q))
 			return
 		}
@@ -316,25 +364,25 @@ func (s *routerServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 	barriers, err := s.rt.Refine(r.Context(), sweeps)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
-		httpErrorTo(w, s.logw, http.StatusServiceUnavailable, err.Error())
+		s.httpError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSONTo(w, s.logw, http.StatusOK, map[string]any{"sweeps": sweeps, "barriers": barriers})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"sweeps": sweeps, "barriers": barriers})
 }
 
 func (s *routerServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if err := s.rt.Checkpoint(r.Context()); err != nil {
-		httpErrorTo(w, s.logw, http.StatusInternalServerError, err.Error())
+		s.httpError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSONTo(w, s.logw, http.StatusOK, map[string]any{"stats": s.rt.Stats()})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"stats": s.rt.Stats()})
 }
 
 // handleHealthz always answers 200 while the router process is up;
 // the per-partition detail carries each member's own /healthz.
 func (s *routerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, nodes := s.rt.Health(r.Context())
-	writeJSONTo(w, s.logw, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"status": status,
 		"router": s.rt.Stats(),
 		"nodes":  nodes,
@@ -363,13 +411,13 @@ func (s *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		body["error"] = "no cluster partition is ready; retry with backoff"
 		body["code"] = "shed"
 	}
-	writeJSONTo(w, s.logw, code, body)
+	s.writeJSON(w, r, code, body)
 }
 
 // serveRouter runs the router HTTP service until SIGTERM/SIGINT, then
 // writes a final manifest so a restarted router resumes exactly here.
-func serveRouter(rt *cluster.Router, addr string, stdout io.Writer) error {
-	s := &routerServer{rt: rt, logw: stdout}
+func serveRouter(s *routerServer, addr string, stdout io.Writer) error {
+	rt := s.rt
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -73,7 +73,7 @@ func newGoldenClusterOver(t *testing.T, urls []string, batch, epochLen int) *rou
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &routerServer{rt: rt, logw: io.Discard}
+	return newRouterServer(rt, io.Discard, nil, "text")
 }
 
 // TestRouterGoldenEquivalence is the tentpole's proof at the HTTP

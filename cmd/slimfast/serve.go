@@ -55,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -63,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"slimfast/internal/obs"
 	"slimfast/internal/query"
 	"slimfast/internal/resilience"
 	"slimfast/internal/stream"
@@ -90,6 +92,14 @@ type serveConfig struct {
 	// requests before /observe sheds with 429. <= 0 = unbounded.
 	MaxInflightBytes int64
 	MaxInflightReqs  int64
+
+	// Registry is the metrics registry GET /v1/metrics scrapes; nil
+	// gets a fresh one (the HTTP families still register and serve).
+	Registry *obs.Registry
+
+	// LogFormat selects the structured-log encoding: "text" (default)
+	// or "json".
+	LogFormat string
 }
 
 // streamServer wires the engine to the HTTP handlers.
@@ -97,6 +107,10 @@ type streamServer struct {
 	eng  *stream.Engine
 	cfg  serveConfig
 	logw io.Writer
+	log  *slog.Logger
+	reg  *obs.Registry
+	met  httpMetrics
+	ins  *instrumentor
 	gate *resilience.Gate
 	// lock serializes ingest, refine and checkpoint requests — the
 	// channel form of a mutex, so acquisition can honor a request
@@ -126,10 +140,20 @@ func newStreamServer(eng *stream.Engine, cfg serveConfig, logw io.Writer) *strea
 	if cfg.Batch < 1 {
 		cfg.Batch = 1
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	log := newComponentLogger(cfg.LogFormat, logw, "serve")
+	ins := newInstrumentor(reg, log)
 	return &streamServer{
 		eng:  eng,
 		cfg:  cfg,
 		logw: logw,
+		log:  log,
+		reg:  reg,
+		met:  ins.met,
+		ins:  ins,
 		gate: resilience.NewGate(cfg.MaxInflightBytes, cfg.MaxInflightReqs),
 		lock: make(chan struct{}, 1),
 	}
@@ -161,26 +185,30 @@ func (s *streamServer) releaseIngest() { <-s.lock }
 // 404/405 — the one surface outside the JSON error envelope.
 func (s *streamServer) handler() http.Handler {
 	mux := http.NewServeMux()
-	handleBoth(mux, "POST /observe", s.handleObserve)
-	handleBoth(mux, "GET /estimates", s.handleEstimates)
-	handleBoth(mux, "GET /sources", s.handleSources)
-	handleBoth(mux, "GET /features", s.handleFeatures)
-	handleBoth(mux, "POST /refine", s.handleRefine)
-	handleBoth(mux, "POST /checkpoint", s.handleCheckpoint)
-	handleBoth(mux, "GET /healthz", s.handleHealthz)
-	handleBoth(mux, "GET /readyz", s.handleReadyz)
-	handleBoth(mux, "POST /epoch/drain", s.handleEpochDrain)
-	handleBoth(mux, "POST /epoch/mass", s.handleEpochMass)
-	handleBoth(mux, "POST /epoch/apply", s.handleEpochApply)
-	return recoverPanicsTo(s.logw, mux)
+	handleBoth(mux, "POST /observe", s.handleObserve, s.ins)
+	handleBoth(mux, "GET /estimates", s.handleEstimates, s.ins)
+	handleBoth(mux, "GET /sources", s.handleSources, s.ins)
+	handleBoth(mux, "GET /features", s.handleFeatures, s.ins)
+	handleBoth(mux, "POST /refine", s.handleRefine, s.ins)
+	handleBoth(mux, "POST /checkpoint", s.handleCheckpoint, s.ins)
+	handleBoth(mux, "GET /healthz", s.handleHealthz, s.ins)
+	handleBoth(mux, "GET /readyz", s.handleReadyz, s.ins)
+	handleBoth(mux, "POST /epoch/drain", s.handleEpochDrain, s.ins)
+	handleBoth(mux, "POST /epoch/mass", s.handleEpochMass, s.ins)
+	handleBoth(mux, "POST /epoch/apply", s.handleEpochApply, s.ins)
+	// The scrape endpoint is versioned-only: it is new in this release,
+	// so no deprecated alias exists to keep.
+	mux.HandleFunc("GET /v1/metrics", s.ins.route("/v1/metrics", s.reg.Handler().ServeHTTP))
+	return s.ins.middleware(mux)
 }
 
 // lockTimeout reports a request that gave up waiting for the ingest
 // lock: 503 + Retry-After like shedding, but with code "timeout" — the
 // deadline expired, the server is not necessarily saturated.
-func (s *streamServer) lockTimeout(w http.ResponseWriter, op string) {
+func (s *streamServer) lockTimeout(w http.ResponseWriter, r *http.Request, op string) {
+	s.met.timeouts.Inc()
 	w.Header().Set("Retry-After", "1")
-	httpErrorCodeTo(w, s.logw, http.StatusServiceUnavailable, "timeout",
+	httpErrorCodeLog(w, requestLogger(r.Context(), s.log), http.StatusServiceUnavailable, "timeout",
 		op+": timed out waiting for the ingest lock; retry with backoff")
 }
 
@@ -201,9 +229,10 @@ const maxObserveBody = 256 << 20
 
 // shed rejects a request with 429 + Retry-After — the contract the
 // resilience ingest client retries against.
-func (s *streamServer) shed(w http.ResponseWriter, msg string) {
+func (s *streamServer) shed(w http.ResponseWriter, r *http.Request, msg string) {
+	s.met.shed.Inc()
 	w.Header().Set("Retry-After", "1")
-	s.httpError(w, http.StatusTooManyRequests, msg)
+	s.httpError(w, r, http.StatusTooManyRequests, msg)
 }
 
 // handleObserve ingests a claim body. text/csv bodies use the
@@ -226,7 +255,7 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	release, err := s.gate.Acquire(n)
 	if err != nil {
-		s.shed(w, "observe: server saturated; retry with backoff")
+		s.shed(w, r, "observe: server saturated; retry with backoff")
 		return
 	}
 	defer release()
@@ -236,7 +265,7 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// Fast path for retry storms: drop the duplicate before the
 		// body read and the lock. The authoritative check still happens
 		// under the lock below for requests that race here.
-		s.deduped(w, seq)
+		s.deduped(w, r, seq)
 		return
 	}
 
@@ -259,21 +288,21 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.httpError(w, http.StatusRequestEntityTooLarge,
+			s.httpError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("observe: body exceeds %d bytes; split the stream into smaller requests", tooBig.Limit))
 			return
 		}
 		if errors.Is(err, os.ErrDeadlineExceeded) {
-			s.httpError(w, http.StatusRequestTimeout,
+			s.httpError(w, r, http.StatusRequestTimeout,
 				fmt.Sprintf("observe: body not received within %v", s.cfg.RequestTimeout))
 			return
 		}
-		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Sprintf("observe: reading body: %v", err))
 		return
 	}
 
 	if !s.acquireIngest(ctx) {
-		s.lockTimeout(w, "observe")
+		s.lockTimeout(w, r, "observe")
 		return
 	}
 	defer s.releaseIngest()
@@ -283,7 +312,7 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// before ingest so a mid-body 400 (claims before the bad row are
 	// already in) is not re-applied by a confused retry.
 	if seq != "" && !s.eng.MarkSeq(seq) {
-		s.deduped(w, seq)
+		s.deduped(w, r, seq)
 		return
 	}
 
@@ -309,18 +338,25 @@ func (s *streamServer) handleObserve(w http.ResponseWriter, r *http.Request) {
 	flush()
 	if err != nil {
 		// Claims before the bad row are already ingested; report both.
-		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("observe: %v (ingested %d claims before the error)", err, ingested))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Sprintf("observe: %v (ingested %d claims before the error)", err, ingested))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	// The one info-level record per ingest request: with the request ID
+	// attached by the middleware, this is what makes a router fan-out
+	// followable across member logs.
+	log := requestLogger(r.Context(), s.log)
+	log.LogAttrs(r.Context(), slog.LevelInfo, "ingested claims",
+		slog.Int64("claims", ingested), slog.String("seq", seq))
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"ingested":     ingested,
 		"observations": s.eng.Stats().Observations,
 	})
 }
 
 // deduped acknowledges an already-ingested idempotency key.
-func (s *streamServer) deduped(w http.ResponseWriter, seq string) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
+func (s *streamServer) deduped(w http.ResponseWriter, r *http.Request, seq string) {
+	s.met.dedupReplays.Inc()
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"ingested":     0,
 		"deduped":      true,
 		"seq":          seq,
@@ -331,29 +367,29 @@ func (s *streamServer) deduped(w http.ResponseWriter, seq string) {
 // serveCSV renders through emit into a buffer first, so an emit
 // failure can still become a clean 500 — writing straight to the
 // ResponseWriter would commit a 200 before the error surfaced.
-func (s *streamServer) serveCSV(w http.ResponseWriter, emit func(io.Writer) error) {
+func (s *streamServer) serveCSV(w http.ResponseWriter, r *http.Request, emit func(io.Writer) error) {
 	var buf bytes.Buffer
 	if err := emit(&buf); err != nil {
-		s.httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		fmt.Fprintf(s.logw, "# WARNING: writing CSV response: %v\n", err)
+		requestLogger(r.Context(), s.log).Warn("writing CSV response failed", slog.Any("error", err))
 	}
 }
 
 // serveResult renders a query result in the negotiated format, buffered
 // so a failure still becomes a clean 500.
-func (s *streamServer) serveResult(w http.ResponseWriter, res *query.Result, format string) {
+func (s *streamServer) serveResult(w http.ResponseWriter, r *http.Request, res *query.Result, format string) {
 	var buf bytes.Buffer
 	if err := query.Write(&buf, res, format); err != nil {
-		s.httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", resultContentType(format))
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		fmt.Fprintf(s.logw, "# WARNING: writing query response: %v\n", err)
+		requestLogger(r.Context(), s.log).Warn("writing query response failed", slog.Any("error", err))
 	}
 }
 
@@ -366,16 +402,16 @@ func (s *streamServer) serveResult(w http.ResponseWriter, res *query.Result, for
 func (s *streamServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
 	q, err := query.Parse(r.URL.Query(), query.EstimateColumns())
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "estimates: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "estimates: "+err.Error())
 		return
 	}
 	format, err := negotiateFormat(r)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "estimates: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "estimates: "+err.Error())
 		return
 	}
 	if q.IsPlain() && format == "csv" {
-		s.serveCSV(w, func(out io.Writer) error { return writeEstimatesCSV(out, s.eng) })
+		s.serveCSV(w, r, func(out io.Writer) error { return writeEstimatesCSV(out, s.eng) })
 		return
 	}
 	var res *query.Result
@@ -385,10 +421,10 @@ func (s *streamServer) handleEstimates(w http.ResponseWriter, r *http.Request) {
 		res, err = query.Execute(s.eng, q)
 	}
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "estimates: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "estimates: "+err.Error())
 		return
 	}
-	s.serveResult(w, res, format)
+	s.serveResult(w, r, res, format)
 }
 
 // sourcesRelation materializes the source accuracy table with the
@@ -430,24 +466,24 @@ func (s *streamServer) handleSources(w http.ResponseWriter, r *http.Request) {
 	rel := sourcesRelation(s.eng)
 	q, err := query.Parse(r.URL.Query(), rel.Cols)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "sources: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "sources: "+err.Error())
 		return
 	}
 	format, err := negotiateFormat(r)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "sources: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "sources: "+err.Error())
 		return
 	}
 	if q.IsPlain() && format == "csv" {
-		s.serveCSV(w, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
+		s.serveCSV(w, r, func(out io.Writer) error { return writeSourceAccuraciesCSV(out, s.eng) })
 		return
 	}
 	res, err := query.ExecuteRelation(rel, q)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "sources: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "sources: "+err.Error())
 		return
 	}
-	s.serveResult(w, res, format)
+	s.serveResult(w, r, res, format)
 }
 
 // handleFeatures exposes the online learner's model — the intercept
@@ -458,10 +494,10 @@ func (s *streamServer) handleSources(w http.ResponseWriter, r *http.Request) {
 func (s *streamServer) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	intercept, feats, ok := s.eng.FeatureWeights()
 	if !ok {
-		s.httpError(w, http.StatusConflict, "features: engine has no online learner (start with -features)")
+		s.httpError(w, r, http.StatusConflict, "features: engine has no online learner (start with -features)")
 		return
 	}
-	s.serveCSV(w, func(out io.Writer) error { return writeFeatureWeightsCSV(out, intercept, feats) })
+	s.serveCSV(w, r, func(out io.Writer) error { return writeFeatureWeightsCSV(out, intercept, feats) })
 }
 
 // maxRefineSweeps caps an operator-requested re-sweep: each sweep is
@@ -482,7 +518,7 @@ func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if s.eng.ExternalEpochs() {
 		// A member-local refine would rebuild σ from this partition's
 		// mass alone and silently fork the cluster's accuracy state.
-		s.httpError(w, http.StatusConflict,
+		s.httpError(w, r, http.StatusConflict,
 			"refine: this node's epochs are externally coordinated (-external-epochs); POST /refine on the router")
 		return
 	}
@@ -490,7 +526,7 @@ func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("sweeps"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 || n > maxRefineSweeps {
-			s.httpError(w, http.StatusBadRequest,
+			s.httpError(w, r, http.StatusBadRequest,
 				fmt.Sprintf("refine: sweeps must be an integer in [1,%d], got %q", maxRefineSweeps, q))
 			return
 		}
@@ -499,13 +535,13 @@ func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if !s.acquireIngest(ctx) {
-		s.lockTimeout(w, "refine")
+		s.lockTimeout(w, r, "refine")
 		return
 	}
 	defer s.releaseIngest()
 	s.eng.Refine(sweeps)
 	st := s.eng.Stats()
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"sweeps":       sweeps,
 		"epoch":        st.Epoch,
 		"observations": st.Observations,
@@ -516,18 +552,18 @@ func (s *streamServer) handleRefine(w http.ResponseWriter, r *http.Request) {
 // and reports where the bytes went.
 func (s *streamServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store == nil {
-		s.httpError(w, http.StatusConflict, "no -checkpoint path configured")
+		s.httpError(w, r, http.StatusConflict, "no -checkpoint path configured")
 		return
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if !s.acquireIngest(ctx) {
-		s.lockTimeout(w, "checkpoint")
+		s.lockTimeout(w, r, "checkpoint")
 		return
 	}
 	defer s.releaseIngest()
 	if err := s.cfg.Store.Write(s.eng); err != nil {
-		s.httpError(w, http.StatusInternalServerError, err.Error())
+		s.httpError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	path := s.cfg.Store.Path()
@@ -536,7 +572,7 @@ func (s *streamServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) 
 		size = fi.Size()
 	}
 	fmt.Fprintf(s.logw, "# checkpoint written to %s (%d bytes)\n", path, size)
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"path":        path,
 		"bytes":       size,
 		"generations": s.cfg.Store.Keep(),
@@ -548,7 +584,7 @@ func (s *streamServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) 
 // take more load?) is /readyz's job.
 func (s *streamServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"status":       "ok",
 		"shards":       st.Shards,
 		"sources":      st.Sources,
@@ -577,19 +613,19 @@ func (s *streamServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		body["error"] = "server saturated; retry with backoff"
 		body["code"] = "shed"
 		w.Header().Set("Retry-After", "1")
-		s.writeJSON(w, http.StatusServiceUnavailable, body)
+		s.writeJSON(w, r, http.StatusServiceUnavailable, body)
 		return
 	}
 	body["status"] = "ready"
-	s.writeJSON(w, http.StatusOK, body)
+	s.writeJSON(w, r, http.StatusOK, body)
 }
 
-func (s *streamServer) writeJSON(w http.ResponseWriter, code int, v any) {
-	writeJSONTo(w, s.logw, code, v)
+func (s *streamServer) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
+	writeJSONLog(w, requestLogger(r.Context(), s.log), code, v)
 }
 
-func (s *streamServer) httpError(w http.ResponseWriter, code int, msg string) {
-	httpErrorTo(w, s.logw, code, msg)
+func (s *streamServer) httpError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	httpErrorLog(w, requestLogger(r.Context(), s.log), code, msg)
 }
 
 // epochRequest is the body of the /epoch coordination endpoints. Tag
@@ -608,12 +644,12 @@ func (s *streamServer) decodeEpochRequest(w http.ResponseWriter, r *http.Request
 	var req epochRequest
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxObserveBody))
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("epoch: reading body: %v", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Sprintf("epoch: reading body: %v", err))
 		return req, false
 	}
 	if len(bytes.TrimSpace(body)) > 0 {
 		if err := json.Unmarshal(body, &req); err != nil {
-			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("epoch: parsing body: %v", err))
+			s.httpError(w, r, http.StatusBadRequest, fmt.Sprintf("epoch: parsing body: %v", err))
 			return req, false
 		}
 	}
@@ -633,27 +669,27 @@ func (s *streamServer) runEpoch(w http.ResponseWriter, r *http.Request, cache *e
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if !s.acquireIngest(ctx) {
-		s.lockTimeout(w, "epoch")
+		s.lockTimeout(w, r, "epoch")
 		return
 	}
 	defer s.releaseIngest()
 	if req.Tag != "" && req.Tag == cache.tag {
-		s.writeJSON(w, http.StatusOK, cache.resp)
+		s.writeJSON(w, r, http.StatusOK, cache.resp)
 		return
 	}
 	resp, err := exec(req)
 	switch {
 	case errors.Is(err, stream.ErrOnlineUnsupported):
-		s.httpError(w, http.StatusConflict, err.Error())
+		s.httpError(w, r, http.StatusConflict, err.Error())
 		return
 	case err != nil:
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if req.Tag != "" {
 		cache.tag, cache.resp = req.Tag, resp
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // handleEpochDrain hands the coordinator this engine's settled
@@ -720,7 +756,8 @@ func (s *streamServer) checkpointLoop(ctx context.Context, every time.Duration) 
 				break
 			}
 			d := bo.Next()
-			fmt.Fprintf(s.logw, "# WARNING: periodic checkpoint failed (%v); retrying in %v\n", err, d)
+			s.log.Warn("periodic checkpoint failed",
+				slog.Any("error", err), slog.Duration("retry_in", d))
 			if !resilienceSleep(ctx, d) {
 				return
 			}

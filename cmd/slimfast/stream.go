@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"slimfast/internal/data"
+	"slimfast/internal/obs"
 	"slimfast/internal/online"
 	"slimfast/internal/stream"
 )
@@ -50,7 +51,12 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 	restorePath := fs.String("restore", "", "resume from this checkpoint when it exists (engine flags like -shards then come from the checkpoint); damaged generations fall back to older ones")
 	featPath := fs.String("features", "", "source features CSV (source,feature); enables online discriminative reliability learning")
 	window := fs.Int("window", 0, "drift window in epochs for the online learner (0 = default; needs -features)")
+	logFormat := fs.String("log-format", "text", "serve mode: structured log format, text or json")
+	pprofAddr := fs.String("pprof", "", "serve mode: serve net/http/pprof on this side address (e.g. localhost:6060); empty = off")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validLogFormat(*logFormat); err != nil {
 		return err
 	}
 	if *externalEpochs {
@@ -137,6 +143,18 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 		store.Log = stdout
 	}
 	if *listen != "" {
+		// One registry per process: engine internals, checkpoint store
+		// and the HTTP layer all expose through GET /v1/metrics.
+		reg := obs.NewRegistry()
+		eng.SetMetrics(stream.NewMetrics(reg))
+		if store != nil {
+			store.Metrics = stream.NewStoreMetrics(reg)
+		}
+		if *pprofAddr != "" {
+			if _, err := startPprof(*pprofAddr, stdout); err != nil {
+				return err
+			}
+		}
 		return serveStream(eng, serveConfig{
 			Addr:             *listen,
 			Batch:            *batch,
@@ -145,6 +163,8 @@ func runStream(args []string, stdin io.Reader, stdout io.Writer) error {
 			RequestTimeout:   *reqTimeout,
 			MaxInflightBytes: *maxInflightMB << 20,
 			MaxInflightReqs:  *maxInflightReqs,
+			Registry:         reg,
+			LogFormat:        *logFormat,
 		}, stdout)
 	}
 	var watched []string

@@ -61,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"slimfast/internal/obs"
 	"slimfast/internal/resilience"
 	"slimfast/internal/stream"
 )
@@ -112,6 +113,10 @@ type Config struct {
 
 	// Log receives operational notes (nil = discard).
 	Log io.Writer
+
+	// Metrics is the optional instrumentation seam; the zero value is
+	// a no-op.
+	Metrics Metrics
 }
 
 // Router coordinates a fixed set of member nodes. All mutating
@@ -149,6 +154,12 @@ type Router struct {
 	statRefines  atomic.Int64
 	statSince    atomic.Int64
 	statSources  atomic.Int64
+
+	// Instrumentation (all nil-safe): per-partition fan-out children
+	// resolved once at New, plus the scalar seams from Config.Metrics.
+	met    Metrics
+	fanReq []*obs.Counter
+	fanSec []*obs.Histogram
 }
 
 // New validates cfg, normalizes the node URLs, and — when a manifest
@@ -199,6 +210,17 @@ func New(cfg Config) (*Router, error) {
 		ix:     map[string]int{},
 		seen:   map[string]struct{}{},
 		ring:   make([]string, 0, cfg.DedupWindow),
+		met:    cfg.Metrics,
+		fanReq: make([]*obs.Counter, len(nodes)),
+		fanSec: make([]*obs.Histogram, len(nodes)),
+	}
+	for j := range nodes {
+		if cfg.Metrics.FanoutRequests != nil {
+			r.fanReq[j] = cfg.Metrics.FanoutRequests.With(strconv.Itoa(j))
+		}
+		if cfg.Metrics.FanoutSeconds != nil {
+			r.fanSec[j] = cfg.Metrics.FanoutSeconds.With(strconv.Itoa(j))
+		}
 	}
 	if cfg.ManifestPath != "" {
 		if err := r.restoreManifest(cfg.ManifestPath); err != nil {
@@ -251,13 +273,15 @@ func (r *Router) markKey(key string) {
 	r.seen[key] = struct{}{}
 }
 
-// syncStatsLocked refreshes the probe-visible counter mirrors.
+// syncStatsLocked refreshes the probe-visible counter mirrors and the
+// client-retry gauge.
 func (r *Router) syncStatsLocked() {
 	r.statClaims.Store(r.claims)
 	r.statBarriers.Store(r.barriers)
 	r.statRefines.Store(r.refines)
 	r.statSince.Store(int64(r.since))
 	r.statSources.Store(int64(len(r.names)))
+	r.met.Retries.Set(float64(r.client.Retries()))
 }
 
 // IngestResult reports one Ingest call's effect.
@@ -312,6 +336,7 @@ func (r *Router) Ingest(ctx context.Context, claims []stream.Triple, seq string)
 			}
 			r.claims += int64(len(part))
 			r.since += len(part)
+			r.met.Claims.Add(uint64(len(part)))
 			res.Ingested += int64(len(part))
 			if r.since >= r.cfg.EpochLength {
 				r.pendingBarrier = true
@@ -354,9 +379,12 @@ func (r *Router) forwardLocked(ctx context.Context, chunk []stream.Triple, key s
 		if key != "" {
 			nodeKey = key + ".n" + strconv.Itoa(j)
 		}
+		began := time.Now()
 		if _, err := r.post(ctx, node+"/v1/observe", "application/x-ndjson", nodeKey, bufs[j].Bytes()); err != nil {
 			return fmt.Errorf("cluster: partition %d: %w", j, err)
 		}
+		r.fanReq[j].Inc()
+		r.fanSec[j].Observe(time.Since(began).Seconds())
 	}
 	return nil
 }
@@ -439,6 +467,7 @@ func (r *Router) barrierLocked(ctx context.Context) error {
 	}
 	r.agree, r.total = newAgree, newTotal
 	r.barriers++
+	r.met.Barriers.Inc()
 	// The barrier is complete before the checkpoint below snapshots the
 	// manifest — a restore must not re-run it.
 	r.pendingBarrier = false
@@ -730,6 +759,7 @@ func (r *Router) probeAll(ctx context.Context, path string) (string, []NodeStatu
 			up++
 		}
 	}
+	r.met.DownPartitions.Set(float64(len(nodes) - up))
 	switch up {
 	case len(nodes):
 		return "ok", nodes

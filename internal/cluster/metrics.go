@@ -1,0 +1,39 @@
+// Router instrumentation: the obs seam `slimfast router` wires in at
+// boot. As with stream.Metrics, the zero value is a no-op, and the
+// per-fan-out increments are atomic adds against children resolved
+// once at construction — nothing on the ingest path allocates for
+// metrics.
+package cluster
+
+import (
+	"slimfast/internal/obs"
+)
+
+// Metrics is the router's instrumentation seam.
+type Metrics struct {
+	// FanoutRequests counts ingest chunks forwarded per member
+	// partition; FanoutSeconds times each forward (including the
+	// resilience client's retries and backoff).
+	FanoutRequests *obs.CounterVec
+	FanoutSeconds  *obs.HistogramVec
+	// Claims counts deduplicated claims ingested cluster-wide;
+	// Barriers counts completed epoch barriers.
+	Claims   *obs.Counter
+	Barriers *obs.Counter
+	// Retries mirrors the resilience client's lifetime retry count;
+	// DownPartitions is how many members failed the last probe sweep.
+	Retries        *obs.Gauge
+	DownPartitions *obs.Gauge
+}
+
+// NewMetrics registers the router metric families on reg.
+func NewMetrics(reg *obs.Registry) Metrics {
+	return Metrics{
+		FanoutRequests: reg.CounterVec("slimfast_router_fanout_requests_total", "Ingest chunks forwarded to each member partition.", "partition"),
+		FanoutSeconds:  reg.HistogramVec("slimfast_router_fanout_seconds", "Per-member forward latency, retries and backoff included.", nil, "partition"),
+		Claims:         reg.Counter("slimfast_router_claims_total", "Deduplicated claims ingested cluster-wide."),
+		Barriers:       reg.Counter("slimfast_router_barriers_total", "Completed cluster epoch barriers."),
+		Retries:        reg.Gauge("slimfast_router_retries", "Lifetime retries spent by the fan-out client."),
+		DownPartitions: reg.Gauge("slimfast_router_down_partitions", "Members that failed the most recent probe sweep."),
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"slimfast/internal/obs"
+)
+
+// TestRouterMetrics wires the instrumentation seam through a fake
+// cluster and requires the fan-out, claim, barrier and probe families
+// to move with the work.
+func TestRouterMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	r, _ := fakeCluster(t, 3, func(cfg *Config) { cfg.Metrics = met })
+
+	claims := testClaims(16, 8) // batch 4, epoch 8 -> 4 chunks, 2 barriers
+	if _, err := r.Ingest(context.Background(), claims, "seq-m"); err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Claims.Value(); got != 16 {
+		t.Errorf("claims counter = %d, want 16", got)
+	}
+	if got := met.Barriers.Value(); got != 2 {
+		t.Errorf("barriers counter = %d, want 2", got)
+	}
+	var fanReqs, fanObs uint64
+	for j := 0; j < 3; j++ {
+		p := strconv.Itoa(j)
+		fanReqs += met.FanoutRequests.With(p).Value()
+		fanObs += met.FanoutSeconds.With(p).Count()
+	}
+	if fanReqs == 0 {
+		t.Error("no fan-out requests counted")
+	}
+	if fanObs != fanReqs {
+		t.Errorf("fan-out latency observations %d != fan-out requests %d", fanObs, fanReqs)
+	}
+
+	if status, _ := r.Health(context.Background()); status != "ok" {
+		t.Fatalf("health = %q, want ok", status)
+	}
+	if got := met.DownPartitions.Value(); got != 0 {
+		t.Errorf("down partitions = %v after a healthy sweep, want 0", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`slimfast_router_fanout_requests_total{partition="0"}`,
+		"slimfast_router_claims_total 16",
+		"slimfast_router_barriers_total 2",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

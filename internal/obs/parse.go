@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a series name (which may
+// carry a _bucket/_sum/_count suffix for histograms), its label set,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: the # HELP / # TYPE header plus
+// every sample attributed to it.
+type Family struct {
+	Name, Type, Help string
+	Samples          []Sample
+}
+
+// Value returns the value of the sample with this exact series name
+// and label set (le included for buckets).
+func (f *Family) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Parse reads Prometheus text exposition format and groups samples
+// into families keyed by family name. Histogram sub-series
+// (_bucket/_sum/_count) attach to their base family when a # TYPE
+// line declared it a histogram; samples with no header become
+// untyped families of their own. It is the test-side inverse of
+// Registry.Write and deliberately strict: a malformed line is an
+// error, not a skip.
+func Parse(r io.Reader) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	fam := func(name string) *Family {
+		f := fams[name]
+		if f == nil {
+			f = &Family{Name: name}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(text, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			fam(name).Help = unescapeHelp(help)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(text, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", line)
+			}
+			fam(name).Type = typ
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		base := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			t := strings.TrimSuffix(s.Name, suf)
+			if t != s.Name {
+				if f, ok := fams[t]; ok && f.Type == "histogram" {
+					base = t
+					break
+				}
+			}
+		}
+		f := fam(base)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+func parseSample(text string) (Sample, error) {
+	s := Sample{}
+	i := 0
+	for i < len(text) && text[i] != '{' && text[i] != ' ' {
+		i++
+	}
+	s.Name = text[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if i < len(text) && text[i] == '{' {
+		var err error
+		s.Labels, i, err = parseLabels(text, i+1)
+		if err != nil {
+			return s, err
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(text[i:]), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value in %q: %w", text, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` starting just past the
+// opening brace and returns the label map and the index past the
+// closing brace. Escapes \\ \" \n in values are decoded.
+func parseLabels(text string, i int) (map[string]string, int, error) {
+	labels := map[string]string{}
+	for {
+		j := i
+		for j < len(text) && text[j] != '=' {
+			j++
+		}
+		if j >= len(text) || j+1 >= len(text) || text[j+1] != '"' {
+			return nil, i, fmt.Errorf("malformed label in %q", text)
+		}
+		name := text[i:j]
+		if !validName(name) {
+			return nil, i, fmt.Errorf("invalid label name %q", name)
+		}
+		var val strings.Builder
+		j += 2
+		for j < len(text) && text[j] != '"' {
+			if text[j] == '\\' && j+1 < len(text) {
+				j++
+				switch text[j] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(text[j])
+				}
+			} else {
+				val.WriteByte(text[j])
+			}
+			j++
+		}
+		if j >= len(text) {
+			return nil, i, fmt.Errorf("unterminated label value in %q", text)
+		}
+		labels[name] = val.String()
+		j++ // past closing quote
+		if j < len(text) && text[j] == ',' {
+			i = j + 1
+			continue
+		}
+		if j < len(text) && text[j] == '}' {
+			return labels, j + 1, nil
+		}
+		return nil, i, fmt.Errorf("malformed label list in %q", text)
+	}
+}

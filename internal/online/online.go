@@ -33,6 +33,7 @@ package online
 
 import (
 	"errors"
+	"math"
 	"sort"
 
 	"slimfast/internal/mathx"
@@ -254,6 +255,17 @@ func (l *Learner) FeatureWeights() (intercept float64, feats []WeightedFeature) 
 		feats[k] = WeightedFeature{Label: name, Weight: l.w[1+k]}
 	}
 	return intercept, feats
+}
+
+// WeightNorm returns the L2 norm of the learned weight vector
+// (intercept slot included): an allocation-free drift signal for
+// instrumentation.
+func (l *Learner) WeightNorm() float64 {
+	var s float64
+	for _, w := range l.w {
+		s += w * w
+	}
+	return math.Sqrt(s)
 }
 
 // FeatureWeight returns the learned weight of a feature label (0 for

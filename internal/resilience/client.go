@@ -184,6 +184,9 @@ func (c *Client) attempt(ctx context.Context, method, url, contentType, seq stri
 	if seq != "" {
 		req.Header.Set(SeqHeader, seq)
 	}
+	if id := RequestID(ctx); id != "" {
+		req.Header.Set(RequestIDHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		cancel()

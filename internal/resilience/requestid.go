@@ -1,0 +1,27 @@
+package resilience
+
+import "context"
+
+// RequestIDHeader is the trace header the serving layer generates (or
+// accepts from clients) and the retrying client propagates: one
+// ingest hitting the router fans out to members carrying the same ID,
+// so a single request is followable across every process it touched.
+const RequestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying a request trace ID. The
+// retrying Client stamps it on every attempt of every request it
+// sends under this context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the trace ID carried by ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("RequestID on a bare context = %q, want empty", got)
+	}
+	if got := RequestID(WithRequestID(ctx, "abc-123")); got != "abc-123" {
+		t.Fatalf("RequestID = %q, want abc-123", got)
+	}
+	// An empty ID must not shadow an inherited one.
+	inner := WithRequestID(WithRequestID(ctx, "outer"), "")
+	if got := RequestID(inner); got != "outer" {
+		t.Fatalf("empty WithRequestID overwrote the inherited ID: %q", got)
+	}
+}
+
+// TestClientStampsRequestIDOnRetries: every attempt — the first and
+// each retry — must carry the context's trace ID, so a fan-out that
+// retries mid-stream stays followable in member logs.
+func TestClientStampsRequestIDOnRetries(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(RequestIDHeader))
+		attempts++
+		fail := attempts == 1
+		mu.Unlock()
+		if fail {
+			http.Error(w, "transient", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.Client(), ClientConfig{
+		MaxAttempts: 3,
+		Backoff:     Backoff{Base: time.Millisecond, Max: time.Millisecond},
+	})
+	ctx := WithRequestID(context.Background(), "trace-42")
+	resp, err := c.Post(ctx, srv.URL, "text/csv", "seq-1", []byte("s,o,v\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(seen))
+	}
+	for i, id := range seen {
+		if id != "trace-42" {
+			t.Errorf("attempt %d carried request ID %q, want trace-42", i+1, id)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"slimfast/internal/data"
 	"slimfast/internal/mathx"
@@ -317,6 +318,10 @@ type Engine struct {
 	mergeTotal []float64
 	mergeObs   []int64
 	accScratch []float64
+
+	// met is the optional instrumentation seam (SetMetrics); the zero
+	// value is a no-op and the hot-path increments are atomic adds.
+	met Metrics
 }
 
 // NewEngine returns an empty sharded engine.
@@ -434,6 +439,7 @@ func (e *Engine) Observe(source, objectName, value string) {
 	sh.observe(e, objectName, sid, vid, sigma, epoch)
 	sh.mu.Unlock()
 	e.nObs.Add(1)
+	e.met.Observations.Inc()
 	if e.sinceEp.Add(1) >= e.epochLen {
 		e.maybeRefresh()
 	}
@@ -483,6 +489,7 @@ func (e *Engine) ObserveBatch(batch []Triple) {
 		sh.mu.Unlock()
 	})
 	e.nObs.Add(int64(len(batch)))
+	e.met.Observations.Add(uint64(len(batch)))
 	if e.sinceEp.Add(int64(len(batch))) >= e.epochLen {
 		e.maybeRefresh()
 	}
@@ -656,6 +663,7 @@ func (sh *shard) insert(e *Engine, name string, epoch int64) int {
 	sh.nLive++
 	if e.shardCap > 0 && sh.nLive > e.shardCap {
 		sh.evict(sh.lruTail)
+		e.met.EvictedObjects.Inc()
 	}
 	return ix
 }
@@ -771,6 +779,10 @@ func (e *Engine) maybeRefresh() {
 // into the global source state, recomputes accuracies and the
 // σ-table, and bumps the epoch. Caller holds refreshMu.
 func (e *Engine) refreshLocked() {
+	var began time.Time
+	if e.met.EpochRefreshSeconds != nil {
+		began = time.Now()
+	}
 	// The merge buffers grow to cover whatever source ids the shard
 	// drains reference: a concurrent Observe may intern new sources
 	// after any initial count snapshot, so sizing is driven by the
@@ -816,8 +828,12 @@ func (e *Engine) refreshLocked() {
 		for s := range names {
 			acc = append(acc, e.learner.Accuracy(s))
 		}
+		if e.met.FeatureWeightNorm != nil {
+			e.met.FeatureWeightNorm.Set(e.learner.WeightNorm())
+		}
 		e.learnMu.Unlock()
 		e.accScratch = acc
+		e.met.LearnerEpochs.Inc()
 	}
 
 	e.src.mu.Lock()
@@ -848,7 +864,13 @@ func (e *Engine) refreshLocked() {
 		e.src.sigma[s] = mathx.Logit(acc[s])
 	}
 	e.src.epoch++
+	epoch := e.src.epoch
 	e.src.mu.Unlock()
+	e.met.EpochRefreshes.Inc()
+	e.met.Epoch.Set(float64(epoch))
+	if e.met.EpochRefreshSeconds != nil {
+		e.met.EpochRefreshSeconds.Observe(time.Since(began).Seconds())
+	}
 }
 
 // Refine runs full re-estimation sweeps — accuracies from posteriors,
@@ -1000,6 +1022,8 @@ func (e *Engine) Refine(sweeps int) {
 			}
 			sh.mu.Unlock()
 		})
+		e.met.RefineSweeps.Inc()
+		e.met.Epoch.Set(float64(epoch))
 	}
 	e.sinceEp.Store(0)
 }

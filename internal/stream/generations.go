@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"slimfast/internal/resilience"
 )
@@ -37,6 +38,22 @@ type CheckpointStore struct {
 	// faults); Log receives the loud warnings the fallback path emits.
 	FS  resilience.FS
 	Log io.Writer
+
+	// Metrics is the optional instrumentation seam; the zero value is
+	// a no-op.
+	Metrics StoreMetrics
+}
+
+// countingWriter counts the bytes a checkpoint encode produces.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // NewCheckpointStore returns a store rotating keep generations at
@@ -69,6 +86,17 @@ func (cs *CheckpointStore) GenPath(i int) string {
 // successful sync; on any failure the temp file is removed and every
 // existing generation is left exactly as it was.
 func (cs *CheckpointStore) Write(e *Engine) (err error) {
+	began := time.Now()
+	var written int64
+	defer func() {
+		if err != nil {
+			cs.Metrics.WriteErrors.Inc()
+			return
+		}
+		cs.Metrics.Writes.Inc()
+		cs.Metrics.LastBytes.Set(float64(written))
+		cs.Metrics.WriteSeconds.Observe(time.Since(began).Seconds())
+	}()
 	dir := filepath.Dir(cs.path)
 	f, err := cs.FS.CreateTemp(dir, filepath.Base(cs.path)+".tmp*")
 	if err != nil {
@@ -81,9 +109,11 @@ func (cs *CheckpointStore) Write(e *Engine) (err error) {
 			cs.FS.Remove(tmp)
 		}
 	}()
-	if err = e.WriteCheckpoint(f); err != nil {
+	cw := &countingWriter{w: f}
+	if err = e.WriteCheckpoint(cw); err != nil {
 		return err
 	}
+	written = cw.n
 	if err = f.Sync(); err != nil {
 		return fmt.Errorf("stream: checkpoint: %w", err)
 	}
@@ -148,7 +178,9 @@ func (cs *CheckpointStore) Restore() (*Engine, string, error) {
 		}
 		if len(failures) > 0 {
 			fmt.Fprintf(cs.Log, "# WARNING: restored from fallback generation %s after %d damaged generation(s)\n", p, len(failures))
+			cs.Metrics.Fallbacks.Inc()
 		}
+		cs.Metrics.Restores.Inc()
 		return e, p, nil
 	}
 	if tried == 0 {

@@ -1,0 +1,79 @@
+// Engine and checkpoint instrumentation: a seam of obs metrics the
+// serving layer wires in at boot. Every field is optional — the zero
+// Metrics value is a no-op (obs methods are nil-receiver-safe), so
+// library users and tests pay nothing. The hot-path increments
+// (Observations in Observe/ObserveBatch) are single atomic adds and
+// keep the engine's 0 allocs/op ingest contract.
+package stream
+
+import (
+	"slimfast/internal/obs"
+)
+
+// Metrics is the engine's instrumentation seam. Attach with
+// Engine.SetMetrics before ingest begins; the engine never mutates
+// the struct.
+type Metrics struct {
+	// Observations counts triples ingested (Observe and ObserveBatch).
+	Observations *obs.Counter
+	// EpochRefreshes counts epoch-boundary σ-table refreshes;
+	// EpochRefreshSeconds times them; Epoch tracks the current epoch.
+	EpochRefreshes      *obs.Counter
+	EpochRefreshSeconds *obs.Histogram
+	Epoch               *obs.Gauge
+	// RefineSweeps counts full re-estimation sweeps.
+	RefineSweeps *obs.Counter
+	// EvictedObjects counts LRU evictions under the shard cap.
+	EvictedObjects *obs.Counter
+	// LearnerEpochs counts online-learner training epochs;
+	// FeatureWeightNorm tracks the L2 norm of its weight vector.
+	LearnerEpochs     *obs.Counter
+	FeatureWeightNorm *obs.Gauge
+}
+
+// NewMetrics registers the engine metric families on reg and returns
+// the wired seam.
+func NewMetrics(reg *obs.Registry) Metrics {
+	return Metrics{
+		Observations:        reg.Counter("slimfast_engine_observations_total", "Claim triples ingested by the engine."),
+		EpochRefreshes:      reg.Counter("slimfast_engine_epoch_refreshes_total", "Epoch-boundary source-accuracy refreshes."),
+		EpochRefreshSeconds: reg.Histogram("slimfast_engine_epoch_refresh_seconds", "Epoch refresh duration (shard drains + accuracy recompute).", nil),
+		Epoch:               reg.Gauge("slimfast_engine_epoch", "Current engine epoch."),
+		RefineSweeps:        reg.Counter("slimfast_engine_refine_sweeps_total", "Full re-estimation sweeps run by Refine."),
+		EvictedObjects:      reg.Counter("slimfast_engine_evicted_objects_total", "Objects evicted by the per-shard LRU cap."),
+		LearnerEpochs:       reg.Counter("slimfast_engine_learner_epochs_total", "Online-learner training epochs."),
+		FeatureWeightNorm:   reg.Gauge("slimfast_engine_feature_weight_norm", "L2 norm of the online learner's weight vector."),
+	}
+}
+
+// SetMetrics attaches an instrumentation seam. Call once at wiring
+// time, before concurrent ingest begins.
+func (e *Engine) SetMetrics(m Metrics) { e.met = m }
+
+// StoreMetrics is the checkpoint store's instrumentation seam; like
+// Metrics, the zero value is a no-op.
+type StoreMetrics struct {
+	// Writes counts checkpoint generations written; WriteErrors the
+	// failed attempts; WriteSeconds times the temp+sync+rename chain;
+	// LastBytes is the size of the newest generation.
+	Writes       *obs.Counter
+	WriteErrors  *obs.Counter
+	WriteSeconds *obs.Histogram
+	LastBytes    *obs.Gauge
+	// Restores counts successful restores; Fallbacks counts restores
+	// that had to skip at least one damaged generation.
+	Restores  *obs.Counter
+	Fallbacks *obs.Counter
+}
+
+// NewStoreMetrics registers the checkpoint metric families on reg.
+func NewStoreMetrics(reg *obs.Registry) StoreMetrics {
+	return StoreMetrics{
+		Writes:       reg.Counter("slimfast_checkpoint_writes_total", "Checkpoint generations written."),
+		WriteErrors:  reg.Counter("slimfast_checkpoint_write_errors_total", "Checkpoint write attempts that failed."),
+		WriteSeconds: reg.Histogram("slimfast_checkpoint_write_seconds", "Checkpoint write duration (encode + fsync + rotate).", nil),
+		LastBytes:    reg.Gauge("slimfast_checkpoint_last_bytes", "Size of the newest checkpoint generation in bytes."),
+		Restores:     reg.Counter("slimfast_checkpoint_restores_total", "Successful checkpoint restores."),
+		Fallbacks:    reg.Counter("slimfast_checkpoint_fallbacks_total", "Restores that skipped at least one damaged generation."),
+	}
+}

@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slimfast/internal/obs"
+)
+
+// TestEngineMetrics wires the full instrumentation seam and drives
+// ingest, epoch refresh, eviction, Refine and the online learner,
+// requiring every family to move.
+func TestEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	opts := testEngineOptions()
+	opts.EpochLength = 64
+	opts.MaxObjects = 40
+	opts.Features = map[string][]string{"s0": {"pipe=a"}, "s1": {"pipe=b"}}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMetrics(m)
+
+	for o := 0; o < 120; o++ {
+		for s := 0; s < 4; s++ {
+			e.Observe(fmt.Sprintf("s%d", s), fmt.Sprintf("o%03d", o), fmt.Sprintf("v%d", o%7))
+		}
+	}
+	e.Refine(2)
+
+	if got := m.Observations.Value(); got != 480 {
+		t.Errorf("observations = %d, want 480", got)
+	}
+	if m.EpochRefreshes.Value() == 0 {
+		t.Error("no epoch refreshes counted")
+	}
+	if m.EpochRefreshSeconds.Count() != m.EpochRefreshes.Value() {
+		t.Errorf("refresh histogram count %d != refresh counter %d",
+			m.EpochRefreshSeconds.Count(), m.EpochRefreshes.Value())
+	}
+	if m.Epoch.Value() <= 0 {
+		t.Errorf("epoch gauge = %v, want > 0", m.Epoch.Value())
+	}
+	if got := m.RefineSweeps.Value(); got != 2 {
+		t.Errorf("refine sweeps = %d, want 2", got)
+	}
+	if m.EvictedObjects.Value() == 0 {
+		t.Error("no evictions counted under a 40-object cap with 120 objects")
+	}
+	if m.LearnerEpochs.Value() == 0 {
+		t.Error("no learner epochs counted in online mode")
+	}
+	if m.FeatureWeightNorm.Value() == 0 {
+		t.Error("feature weight norm gauge never set")
+	}
+
+	var sb strings.Builder
+	if err := reg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"slimfast_engine_observations_total",
+		"slimfast_engine_epoch_refreshes_total",
+		"slimfast_engine_epoch_refresh_seconds_bucket",
+		"slimfast_engine_refine_sweeps_total",
+		"slimfast_engine_evicted_objects_total",
+	} {
+		if !strings.Contains(sb.String(), fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+}
+
+// TestCheckpointStoreMetrics covers the write and restore counters,
+// including the bytes gauge matching the file on disk.
+func TestCheckpointStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	sm := NewStoreMetrics(reg)
+	e, err := NewEngine(testEngineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe("s0", "o0", "v0")
+
+	cs := NewCheckpointStore(filepath.Join(t.TempDir(), "engine.ckpt"), 2)
+	cs.Metrics = sm
+	if err := cs.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.Writes.Value(); got != 2 {
+		t.Errorf("writes = %d, want 2", got)
+	}
+	if sm.WriteSeconds.Count() != 2 {
+		t.Errorf("write histogram count = %d, want 2", sm.WriteSeconds.Count())
+	}
+	if sm.LastBytes.Value() <= 0 {
+		t.Errorf("last bytes gauge = %v, want > 0", sm.LastBytes.Value())
+	}
+	if _, _, err := cs.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Restores.Value() != 1 {
+		t.Errorf("restores = %d, want 1", sm.Restores.Value())
+	}
+	if sm.Fallbacks.Value() != 0 {
+		t.Errorf("fallbacks = %d, want 0 for a clean restore", sm.Fallbacks.Value())
+	}
+	if sm.WriteErrors.Value() != 0 {
+		t.Errorf("write errors = %d, want 0", sm.WriteErrors.Value())
+	}
+}
+
+// TestObserveZeroAllocWithMetrics is the instrumented sibling of
+// BenchmarkStreamIngest's 0 allocs/op headline: with the full metrics
+// seam attached, a steady-state Observe (interned source/value/object,
+// no epoch boundary) must not allocate.
+func TestObserveZeroAllocWithMetrics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	reg := obs.NewRegistry()
+	opts := testEngineOptions()
+	opts.EpochLength = 1 << 30 // no refresh inside the measured window
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMetrics(NewMetrics(reg))
+
+	// Warm: intern everything and let the claim slabs reach capacity.
+	vals := [2]string{"v0", "v1"}
+	for i := 0; i < 64; i++ {
+		e.Observe("s0", "o0", vals[i%2])
+		e.Observe("s1", "o0", vals[(i+1)%2])
+	}
+	i := 0
+	if n := testing.AllocsPerRun(500, func() {
+		e.Observe("s0", "o0", vals[i%2]) // value flip: the O(domain) delta path
+		i++
+	}); n != 0 {
+		t.Errorf("instrumented Observe allocates %v per op, want 0", n)
+	}
+}

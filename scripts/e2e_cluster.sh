@@ -152,6 +152,47 @@ diff "$WORK/ref.sources.csv" "$WORK/cluster.sources.csv" || {
 lines="$(wc -l < "$WORK/cluster.estimates.csv")"
 [ "$lines" -gt 100 ] || { echo "FAIL: suspiciously small estimate set ($lines lines)" >&2; exit 1; }
 
+echo "== router metrics: fan-out, deduplicated claims, barriers"
+METRICS="$WORK/router.metrics.txt"
+curl -fsS "http://$ROUTER/v1/metrics" > "$METRICS"
+grep -q '^# TYPE slimfast_router_fanout_requests_total counter$' "$METRICS" || {
+	echo "FAIL: router metrics missing the fan-out TYPE header:" >&2
+	cat "$METRICS" >&2
+	exit 1
+}
+if grep '^# TYPE ' "$METRICS" | grep -Evq ' (counter|gauge|histogram)$'; then
+	echo "FAIL: router metrics have a TYPE header with an unknown kind:" >&2
+	grep '^# TYPE ' "$METRICS" >&2
+	exit 1
+fi
+FANOUT="$(awk -F' ' '/^slimfast_router_fanout_requests_total\{/ { sum += $2 } END { print sum + 0 }' "$METRICS")"
+[ "$FANOUT" -gt 0 ] || { echo "FAIL: slimfast_router_fanout_requests_total = $FANOUT, want > 0" >&2; exit 1; }
+# The stream is 960 claims and the replay of part 1 dedups at the
+# router, so the cluster-wide counters are exact, not just nonzero.
+CLAIMS="$(awk '$1 == "slimfast_router_claims_total" { print $2 }' "$METRICS")"
+[ "$CLAIMS" = "960" ] || { echo "FAIL: slimfast_router_claims_total = '$CLAIMS', want 960" >&2; exit 1; }
+BARRIERS="$(awk '$1 == "slimfast_router_barriers_total" { print $2 }' "$METRICS")"
+[ "$BARRIERS" = "15" ] || { echo "FAIL: slimfast_router_barriers_total = '$BARRIERS', want 15" >&2; exit 1; }
+echo "PASS metrics: $FANOUT fan-out requests, $CLAIMS claims, $BARRIERS barriers"
+
+echo "== request tracing: a router-injected X-Request-ID reaches a member log"
+# A tiny tail of claims (4 << 64) keeps the epoch counter short of the
+# next barrier, so the 15-barrier manifest assert below still holds.
+printf 'source,object,value\ns0,o000,t0\ns1,o001,t1\ns2,o002,t2\ns3,o003,t3\n' > "$WORK/trace.csv"
+curl -fsS -X POST -H 'Content-Type: text/csv' -H 'X-Request-ID: e2e-trace-0001' \
+	--data-binary @"$WORK/trace.csv" "http://$ROUTER/v1/observe" > /dev/null
+grep -q 'e2e-trace-0001' "$WORK/router.log" || {
+	echo "FAIL: injected request ID absent from the router log:" >&2
+	cat "$WORK/router.log" >&2
+	exit 1
+}
+grep -q 'e2e-trace-0001' "$WORK"/node[0-2].log || {
+	echo "FAIL: injected request ID did not propagate to any member log:" >&2
+	tail -n 20 "$WORK"/node[0-2].log >&2
+	exit 1
+}
+echo "PASS tracing: e2e-trace-0001 propagated router -> member"
+
 echo "== query surface: slimfast query against the live router"
 "$WORK/slimfast" query -to "http://$ROUTER" 'order=-contested,object&limit=5' > "$WORK/query.top.csv"
 qlines="$(wc -l < "$WORK/query.top.csv")"

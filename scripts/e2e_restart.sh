@@ -91,6 +91,38 @@ restart_suite() {
 	start_server "$WORK/$MODE.run1.log" -checkpoint "$CKPT" "$@"
 	post_csv "$ADDR" "$WORK/part1.csv"
 	curl -fsS -X POST "http://$ADDR/v1/checkpoint" > /dev/null
+
+	echo "== [$MODE] metrics scrape covers ingest + checkpoint"
+	METRICS="$WORK/$MODE.metrics.txt"
+	curl -fsS "http://$ADDR/v1/metrics" > "$METRICS"
+	# Well-formed exposition: every TYPE header names a known kind, and
+	# the families the suite just exercised are typed.
+	grep -q '^# TYPE slimfast_engine_observations_total counter$' "$METRICS" || {
+		echo "[$MODE] metrics output missing the engine observations TYPE header:" >&2
+		cat "$METRICS" >&2
+		exit 1
+	}
+	if grep '^# TYPE ' "$METRICS" | grep -Evq ' (counter|gauge|histogram)$'; then
+		echo "[$MODE] metrics output has a TYPE header with an unknown kind:" >&2
+		grep '^# TYPE ' "$METRICS" >&2
+		exit 1
+	fi
+	OBSERVED="$(awk '$1 == "slimfast_engine_observations_total" { print $2 }' "$METRICS")"
+	[ -n "$OBSERVED" ] && [ "$OBSERVED" -gt 0 ] 2>/dev/null || {
+		echo "[$MODE] slimfast_engine_observations_total = '$OBSERVED', want > 0" >&2
+		exit 1
+	}
+	CKPT_WRITES="$(awk '$1 == "slimfast_checkpoint_writes_total" { print $2 }' "$METRICS")"
+	[ -n "$CKPT_WRITES" ] && [ "$CKPT_WRITES" -gt 0 ] 2>/dev/null || {
+		echo "[$MODE] slimfast_checkpoint_writes_total = '$CKPT_WRITES', want > 0" >&2
+		exit 1
+	}
+	grep -q '^slimfast_http_requests_total{' "$METRICS" || {
+		echo "[$MODE] metrics output missing the HTTP request counters" >&2
+		exit 1
+	}
+	echo "PASS [$MODE] metrics: $OBSERVED observations, $CKPT_WRITES checkpoint writes"
+
 	kill -9 "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true # hard kill: the checkpoint must carry everything
 	SRV_PID=""
 	[ -s "$CKPT" ] || { echo "[$MODE] checkpoint file missing" >&2; exit 1; }
